@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAuditsAccuracies(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-a", "0,0.5,1", "-window-hours", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Detection rate") {
+		t.Errorf("audit table missing:\n%s", out)
+	}
+	// The zero-accuracy row must show zero detections; the full-accuracy
+	// row must detect everything; nobody may report false positives.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "1.00") || !strings.Contains(last, "1.000") {
+		t.Errorf("a=1 row wrong: %q", last)
+	}
+}
+
+func TestRunRejectsBadAccuracyList(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-a", "0.5,zebra"}); err == nil {
+		t.Error("bad accuracy list accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Command qossim runs a single probabilistic-QoS simulation and prints its
+// metrics: one (workload, failure trace, a, U) point of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	qossim [-log NASA|SDSC|file.swf] [-failures trace.csv] [-jobs N]
+//	       [-a accuracy] [-u risk] [-seed S] [-policy risk|periodic|never]
+//	       [-no-deadline-skip] [-no-fault-aware] [-no-negotiate]
+//	       [-pure-forecast] [-journal out.jsonl] [-json]
+//
+// Without -failures a synthetic trace matching the paper's AIX failure
+// data (1021 failures/year on 128 nodes, MTBF 8.5 h) is generated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"probqos"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qossim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("qossim", flag.ContinueOnError)
+	var (
+		logName      = fs.String("log", "SDSC", "workload: NASA, SDSC, or a path to an SWF file")
+		failureFile  = fs.String("failures", "", "failure trace CSV (default: synthetic AIX-like trace)")
+		jobs         = fs.Int("jobs", 10000, "job count for synthetic workloads")
+		accuracy     = fs.Float64("a", 0.5, "event prediction accuracy in [0,1]")
+		userRisk     = fs.Float64("u", 0.5, "user risk strategy U in [0,1]")
+		seed         = fs.Int64("seed", 0, "seed for synthetic traces")
+		nodes        = fs.Int("nodes", 128, "cluster size")
+		policyName   = fs.String("policy", "risk", "checkpoint policy: risk, periodic, never")
+		noSkip       = fs.Bool("no-deadline-skip", false, "disable deadline-driven checkpoint skipping")
+		noFaultAware = fs.Bool("no-fault-aware", false, "disable prediction-driven node selection")
+		noNegotiate  = fs.Bool("no-negotiate", false, "users take the first quote regardless of U")
+		pureForecast = fs.Bool("pure-forecast", false, "disable the MTBF floor in checkpoint risk")
+		horizonHours = fs.Float64("horizon-hours", 0, "prediction accuracy half-life in hours (0 = static predictor)")
+		useMonitor   = fs.Bool("monitor", false, "predict with the working health monitor instead of the idealized oracle (synthetic failures only)")
+		journalPath  = fs.String("journal", "", "write the event journal (JSON lines) to this file")
+		perJobPath   = fs.String("perjob", "", "write per-job records as CSV to this file")
+		failRecPath  = fs.String("failrec", "", "write per-failure records as CSV to this file")
+		calibration  = fs.Bool("calibration", false, "print the promise reliability diagram")
+		breakdown    = fs.Bool("breakdown", false, "print per-size-class metrics")
+		asJSON       = fs.Bool("json", false, "emit the metrics report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	log, err := loadWorkload(*logName, *jobs, *seed, *nodes)
+	if err != nil {
+		return err
+	}
+	trace, err := loadFailures(*failureFile, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := probqos.NewSimConfig(log, trace)
+	if *useMonitor {
+		if *failureFile != "" {
+			return fmt.Errorf("-monitor needs the synthetic failure pipeline (raw log + telemetry); it cannot be used with -failures")
+		}
+		raw := probqos.GenerateRawRASLog(probqos.RawLogConfig{Nodes: *nodes, Seed: *seed})
+		telemetry, err := probqos.GenerateTelemetry(probqos.TelemetryConfig{Nodes: *nodes, Seed: *seed}, raw)
+		if err != nil {
+			return err
+		}
+		monitor, err := probqos.NewHealthMonitor(telemetry, raw, probqos.MonitorConfig{})
+		if err != nil {
+			return err
+		}
+		cfg.Predictor = monitor
+	}
+	cfg.Nodes = *nodes
+	cfg.Accuracy = *accuracy
+	cfg.UserRisk = *userRisk
+	cfg.DeadlineSkip = !*noSkip
+	cfg.FaultAware = !*noFaultAware
+	cfg.Negotiate = !*noNegotiate
+	cfg.BaseRateFloor = !*pureForecast
+	cfg.PredictionHalfLife = probqos.Duration(*horizonHours * 3600)
+	switch *policyName {
+	case "risk":
+		cfg.Policy = probqos.PolicyRiskBased
+	case "periodic":
+		cfg.Policy = probqos.PolicyPeriodic
+	case "never":
+		cfg.Policy = probqos.PolicyNever
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	var journal interface {
+		probqos.Observer
+		Close() error
+	}
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw := probqos.NewJournalWriter(f)
+		cfg.Observer = jw
+		journal = jw
+	}
+
+	res, err := probqos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return err
+		}
+	}
+	report := probqos.Metrics(res)
+	if *perJobPath != "" {
+		f, err := os.Create(*perJobPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJobsCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *failRecPath != "" {
+		f, err := os.Create(*failRecPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteFailuresCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	performed, skipped := res.TotalCheckpoints()
+	fmt.Fprintf(out, "workload           %s (%d jobs)\n", log.Name, len(log.Jobs))
+	fmt.Fprintf(out, "failure trace      %d failures\n", trace.Len())
+	fmt.Fprintf(out, "accuracy a         %.2f\n", *accuracy)
+	fmt.Fprintf(out, "user risk U        %.2f\n", *userRisk)
+	fmt.Fprintf(out, "QoS                %.4f\n", report.QoS)
+	fmt.Fprintf(out, "utilization        %.4f (raw occupancy %.4f)\n",
+		report.Utilization, report.OccupiedFraction)
+	fmt.Fprintf(out, "lost work          %.3e node-s\n", report.LostWork.NodeSeconds())
+	fmt.Fprintf(out, "job failures       %d\n", report.JobFailures)
+	fmt.Fprintf(out, "deadline misses    %.2f%% of jobs (%.2f%% of work)\n",
+		100*report.DeadlineMissRate, 100*report.WorkMissRate)
+	fmt.Fprintf(out, "mean promise       %.4f (observed success %.4f)\n",
+		report.MeanPromise, report.ObservedSuccess)
+	fmt.Fprintf(out, "mean wait          %.1f s\n", report.MeanWaitSeconds)
+	fmt.Fprintf(out, "bounded slowdown   %.2f\n", report.MeanBoundedSlowdown)
+	fmt.Fprintf(out, "checkpoints        %d performed, %d skipped\n", performed, skipped)
+	fmt.Fprintf(out, "span               %.1f days\n", report.Span.Hours()/24)
+	if *breakdown {
+		fmt.Fprintln(out, "\nby job size:")
+		for _, c := range probqos.MetricsBySize(res) {
+			if c.Jobs == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %-12s %6d jobs  %4.1f%% of work  QoS %.4f  miss %.3f  fail %.3f  lost %.2e\n",
+				c.Label, c.Jobs, 100*c.WorkShare, c.QoS, c.MissRate, c.FailureRate, c.LostWork.NodeSeconds())
+		}
+	}
+	if *calibration {
+		bins := probqos.Calibration(res, 10)
+		fmt.Fprintln(out, "\npromise reliability (promised -> observed):")
+		for _, b := range bins {
+			if b.Jobs == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  [%.1f,%.1f)  %6d jobs  promised %.3f  observed %.3f  work share %.1f%%\n",
+				b.Lo, b.Hi, b.Jobs, b.PromisedMean, b.Observed, 100*b.WorkShare)
+		}
+		fmt.Fprintf(out, "  worst overconfidence: %.4f\n", probqos.Overconfidence(bins))
+	}
+	return nil
+}
+
+func loadWorkload(name string, jobs int, seed int64, nodes int) (*probqos.JobLog, error) {
+	switch strings.ToUpper(name) {
+	case "NASA", "SDSC":
+		return probqos.GenerateWorkload(strings.ToUpper(name),
+			probqos.WorkloadConfig{Jobs: jobs, Seed: seed, ClusterNodes: nodes})
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return probqos.ParseSWF(name, f)
+}
+
+func loadFailures(path string, nodes int, seed int64) (*probqos.FailureTrace, error) {
+	if path == "" {
+		return probqos.GenerateFailureTrace(
+			probqos.RawLogConfig{Nodes: nodes, Seed: seed}, probqos.FilterConfig{Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return probqos.ParseFailureTrace(nodes, f)
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-log", "NASA", "-jobs", "120", "-a", "0.7", "-u", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"QoS", "utilization", "lost work", "checkpoints"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-jobs", "80", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if _, ok := report["QoS"]; !ok {
+		t.Errorf("JSON missing QoS: %v", report)
+	}
+}
+
+func TestRunSideFiles(t *testing.T) {
+	dir := t.TempDir()
+	perjob := filepath.Join(dir, "jobs.csv")
+	failrec := filepath.Join(dir, "fails.csv")
+	journal := filepath.Join(dir, "journal.jsonl")
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-jobs", "60", "-perjob", perjob, "-failrec", failrec,
+		"-journal", journal, "-calibration", "-breakdown",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{perjob, failrec, journal} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	if !strings.Contains(sb.String(), "promise reliability") {
+		t.Error("calibration section missing")
+	}
+	if !strings.Contains(sb.String(), "by job size") {
+		t.Error("breakdown section missing")
+	}
+}
+
+func TestRunPolicyAndVariantFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-jobs", "50", "-policy", "periodic"},
+		{"-jobs", "50", "-policy", "never"},
+		{"-jobs", "50", "-no-deadline-skip", "-no-fault-aware", "-no-negotiate", "-pure-forecast"},
+		{"-jobs", "50", "-horizon-hours", "12"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, args); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		}
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-policy", "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := run(&sb, []string{"-log", "/does/not/exist.swf"}); err == nil {
+		t.Error("missing SWF accepted")
+	}
+}
+
+func TestRunSWFWorkload(t *testing.T) {
+	dir := t.TempDir()
+	swf := filepath.Join(dir, "log.swf")
+	f, err := os.Create(swf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1 0 -1 600 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log", swf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(1 jobs)") {
+		t.Errorf("SWF workload not loaded:\n%s", sb.String())
+	}
+}
+
+func TestRunMonitorPredictor(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-jobs", "60", "-log", "NASA", "-monitor", "-u", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "QoS") {
+		t.Errorf("monitor run output wrong:\n%s", sb.String())
+	}
+	if err := run(&sb, []string{"-monitor", "-failures", "/tmp/nonexistent.csv"}); err == nil {
+		t.Error("monitor with -failures should be rejected")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "list"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig1", "fig12", "headline", "ablation-checkpoint"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "table1", "-jobs", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "NASA") || !strings.Contains(sb.String(), "paper:") {
+		t.Errorf("experiment output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunCommaSeparatedCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "table1,table2", "-jobs", "200", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Job Log,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "== table2") {
+		t.Errorf("second experiment missing:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "table2", "-jobs", "100", "-outdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "N (nodes)") {
+		t.Errorf("csv content wrong: %s", data)
+	}
+}

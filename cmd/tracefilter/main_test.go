@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probqos"
+)
+
+func TestRunFiltersStdinToStdout(t *testing.T) {
+	raw := probqos.GenerateRawRASLog(probqos.RawLogConfig{Episodes: 30, Seed: 2})
+	var in bytes.Buffer
+	if err := probqos.WriteRawRASLog(&in, raw); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&in, &out, []string{"-nodes", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "time,node,detectability") {
+		t.Errorf("output is not a trace CSV:\n%s", out.String()[:80])
+	}
+	// The filtered trace parses back.
+	trace, err := probqos.ParseFailureTrace(128, strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() == 0 || trace.Len() > 30 {
+		t.Errorf("filtered %d failures from 30 episodes", trace.Len())
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("not a raw log\n"), &out, nil); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command tracegen generates the synthetic inputs of the reproduction:
+// SWF job logs in the NASA/SDSC regimes, raw RAS event logs, and filtered
+// failure traces.
+//
+// Usage:
+//
+//	tracegen -kind workload -log NASA|SDSC [-jobs N] [-load F] [-seed S] [-o file]
+//	tracegen -kind rawlog   [-nodes N] [-days D] [-episodes E] [-seed S] [-o file]
+//	tracegen -kind failures [-nodes N] [-days D] [-episodes E] [-seed S] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"probqos"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "workload", "what to generate: workload, rawlog, failures")
+		logName  = fs.String("log", "SDSC", "workload regime: NASA or SDSC")
+		jobs     = fs.Int("jobs", 10000, "workload job count")
+		load     = fs.Float64("load", 0, "offered load target (0 = per-log default)")
+		nodes    = fs.Int("nodes", 128, "cluster size")
+		days     = fs.Int("days", 365, "raw log / failure trace span in days")
+		episodes = fs.Int("episodes", 1021, "fault episodes (filtered failures)")
+		seed     = fs.Int64("seed", 0, "random seed")
+		outPath  = fs.String("o", "", "output file (default stdout)")
+		stats    = fs.Bool("stats", false, "print a distribution profile to stderr (workload kind only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch *kind {
+	case "workload":
+		log, err := probqos.GenerateWorkload(*logName, probqos.WorkloadConfig{
+			Jobs: *jobs, Seed: *seed, ClusterNodes: *nodes, Load: *load,
+		})
+		if err != nil {
+			return err
+		}
+		if *stats {
+			if _, err := workload.BuildProfile(log).WriteTo(os.Stderr); err != nil {
+				return err
+			}
+		}
+		return log.WriteSWF(out)
+	case "rawlog":
+		raw := probqos.GenerateRawRASLog(rawConfig(*nodes, *days, *episodes, *seed))
+		return probqos.WriteRawRASLog(out, raw)
+	case "failures":
+		trace, err := probqos.GenerateFailureTrace(
+			rawConfig(*nodes, *days, *episodes, *seed), probqos.FilterConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		return trace.WriteCSV(out)
+	}
+	return fmt.Errorf("unknown kind %q (want workload, rawlog, or failures)", *kind)
+}
+
+func rawConfig(nodes, days, episodes int, seed int64) probqos.RawLogConfig {
+	return probqos.RawLogConfig{
+		Nodes:    nodes,
+		Span:     probqos.Duration(days) * units.Day,
+		Episodes: episodes,
+		Seed:     seed,
+	}
+}

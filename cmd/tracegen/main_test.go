@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-kind", "workload", "-log", "NASA", "-jobs", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "; Workload: NASA") {
+		t.Errorf("SWF header missing:\n%s", sb.String()[:100])
+	}
+	if got := strings.Count(sb.String(), "\n"); got < 50 {
+		t.Errorf("only %d lines", got)
+	}
+}
+
+func TestRunFailuresKind(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-kind", "failures", "-days", "30", "-episodes", "40", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "time,node,detectability") {
+		t.Errorf("trace header missing:\n%s", string(data[:80]))
+	}
+}
+
+func TestRunRawLogKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-kind", "rawlog", "-days", "10", "-episodes", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FATAL") && !strings.Contains(sb.String(), "FAILURE") {
+		t.Error("raw log has no critical events")
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-kind", "nonsense"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

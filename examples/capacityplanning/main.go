@@ -1,0 +1,62 @@
+// Capacityplanning: a what-if study built from the library's workload
+// transforms. Starting from one SDSC-regime log, the arrival stream is
+// compressed and stretched to sweep the offered load, answering the
+// operator's question: how much load can this 128-node machine carry
+// before the probabilistic QoS guarantees start to slip?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probqos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := probqos.GenerateSDSCWorkload(probqos.WorkloadConfig{Jobs: 2000})
+	trace, err := probqos.GenerateFailureTrace(probqos.RawLogConfig{}, probqos.FilterConfig{})
+	if err != nil {
+		return err
+	}
+	baseLoad := base.OfferedLoad(128)
+	fmt.Printf("base workload: %d jobs, offered load %.2f\n", len(base.Jobs), baseLoad)
+	fmt.Println("sweeping offered load by compressing/stretching arrivals (a=0.7, U=0.5):")
+	fmt.Println()
+	fmt.Printf("%-8s  %-8s  %-8s  %-11s  %-10s  %s\n",
+		"load", "QoS", "util", "occupancy", "mean wait", "verdict")
+
+	for _, target := range []float64{0.4, 0.55, 0.7, 0.8, 0.9} {
+		scaled, err := base.ScaleArrivals(baseLoad / target)
+		if err != nil {
+			return err
+		}
+		cfg := probqos.NewSimConfig(scaled, trace)
+		cfg.Accuracy = 0.7
+		cfg.UserRisk = 0.5
+		res, err := probqos.Run(cfg)
+		if err != nil {
+			return err
+		}
+		r := probqos.Metrics(res)
+		verdict := "comfortable"
+		switch {
+		case r.MeanWaitSeconds > 6*3600:
+			verdict = "queue runaway"
+		case r.MeanWaitSeconds > 3600:
+			verdict = "queues building"
+		}
+		fmt.Printf("%-8.2f  %-8.4f  %-8.4f  %-11.4f  %-10.0f  %s\n",
+			target, r.QoS, r.Utilization, r.OccupiedFraction, r.MeanWaitSeconds, verdict)
+	}
+	fmt.Println()
+	fmt.Println("utilization tracks offered load until queueing takes over; the QoS")
+	fmt.Println("promise machinery keeps deadline integrity even as waits grow, because")
+	fmt.Println("quoted deadlines are reservation-backed rather than aspirational.")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Negotiation: the market-based dialog of §3.5 made visible. The system
+// quotes "job j can be completed by deadline d with probability p" offers;
+// relaxing the deadline buys a higher probability, and users with different
+// risk strategies U accept different offers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probqos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 16-node cluster whose failure trace has a cluster-wide fault
+	// episode three hours in: half the nodes see highly detectable
+	// failures, half see harder ones.
+	var events []probqos.FailureEvent
+	for n := 0; n < 16; n++ {
+		px := 0.25
+		if n%2 == 1 {
+			px = 0.85
+		}
+		events = append(events, probqos.FailureEvent{
+			Time:          probqos.Time(3 * probqos.Hour),
+			Node:          n,
+			Detectability: px,
+		})
+	}
+	trace, err := probqos.NewFailureTrace(16, events)
+	if err != nil {
+		return err
+	}
+	system, err := probqos.NewSystem(16, trace, 0.7 /* prediction accuracy */)
+	if err != nil {
+		return err
+	}
+
+	// A full-machine job of four hours must overlap the episode or wait it
+	// out. Show the quote ladder the user sees.
+	const size = 16
+	exec := probqos.Duration(4 * probqos.Hour)
+	fmt.Printf("job: %d nodes, %d s execution (reserved %d s with checkpoints)\n\n",
+		size, exec, system.PlannedDuration(exec))
+	fmt.Println("the system's successive offers:")
+	for i, q := range system.Quotes(0, size, exec, 5) {
+		fmt.Printf("  offer %d: start %-13v deadline %-13v p(success) %.2f\n",
+			i+1, q.Candidate.Start, q.Deadline, q.Success)
+	}
+
+	// Three users, three strategies.
+	fmt.Println("\nwhat different users accept:")
+	for i, u := range []float64{0.1, 0.6, 0.95} {
+		user, err := probqos.NewUser(u)
+		if err != nil {
+			return err
+		}
+		q, offers, err := system.Submit(100+i, 0, size, exec, user)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  U=%.2f accepts offer %d: deadline %-13v with p=%.2f\n",
+			u, offers, q.Deadline, q.Success)
+		system.Release(100 + i) // keep the cluster clean between users
+	}
+	// The system-initiated form of the dialog (§3.3): suggest the earliest
+	// deadline that clears a success bar, citing the improved probability.
+	suggestion, err := system.SuggestDeadline(0, size, exec, 0.99)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsystem suggestion for p >= 0.99: deadline %v (p=%.2f)\n",
+		suggestion.Deadline, suggestion.Success)
+
+	fmt.Println("\nrelaxing the deadline buys probability: that is the incentive")
+	fmt.Println("structure that keeps both sides honest.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module probqos
+
+go 1.22

@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probqos/internal/units"
+)
+
+func TestDefaultParamsMatchTable2(t *testing.T) {
+	p := DefaultParams()
+	if p.Interval != 3600 {
+		t.Errorf("I = %v, want 3600s", p.Interval)
+	}
+	if p.Overhead != 720 {
+		t.Errorf("C = %v, want 720s", p.Overhead)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "valid", give: Params{Interval: 100, Overhead: 10}},
+		{name: "zero interval", give: Params{Overhead: 10}, wantErr: true},
+		{name: "zero overhead", give: Params{Interval: 100}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPeriodicAndNever(t *testing.T) {
+	req := Request{PFail: 0, Params: DefaultParams()}
+	if !(Periodic{}).ShouldCheckpoint(req) {
+		t.Error("periodic must always checkpoint")
+	}
+	if (Never{}).ShouldCheckpoint(req) {
+		t.Error("never must never checkpoint")
+	}
+	if (Periodic{}).Name() != "periodic" || (Never{}).Name() != "never" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestRiskBasedEquationOne(t *testing.T) {
+	params := DefaultParams() // I=3600, C=720: threshold pf*d*3600 >= 720
+	tests := []struct {
+		name string
+		pf   float64
+		d    int
+		want bool
+	}{
+		{name: "no risk skips", pf: 0, d: 5, want: false},
+		{name: "exactly at threshold performs", pf: 0.2, d: 1, want: true},
+		{name: "just below threshold skips", pf: 0.199, d: 1, want: false},
+		{name: "accumulated intervals tip the scale", pf: 0.05, d: 4, want: true},
+		{name: "certain failure performs", pf: 1, d: 1, want: true},
+		{name: "d clamps to 1", pf: 0.2, d: 0, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req := Request{PFail: tt.pf, Params: params, AtRiskIntervals: tt.d}
+			if got := (RiskBased{}).ShouldCheckpoint(req); got != tt.want {
+				t.Errorf("ShouldCheckpoint(pf=%v,d=%d) = %v, want %v", tt.pf, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeadlineOverride(t *testing.T) {
+	base := RiskBased{}
+	p := DeadlineOverride{Base: base}
+	params := DefaultParams()
+	perform := Request{
+		PFail: 1, Params: params, AtRiskIntervals: 1,
+		Deadline: 10000, EstFinishIfPerform: 9000, EstFinishIfSkip: 8280,
+	}
+	if !p.ShouldCheckpoint(perform) {
+		t.Error("deadline comfortably met: checkpoint should proceed")
+	}
+	// Performing would miss the deadline, skipping meets it: skip.
+	squeeze := perform
+	squeeze.EstFinishIfPerform = 10500
+	if p.ShouldCheckpoint(squeeze) {
+		t.Error("checkpoint should be skipped to save the deadline")
+	}
+	// Doomed either way: perform (protect against lost work).
+	doomed := perform
+	doomed.EstFinishIfPerform = 10500
+	doomed.EstFinishIfSkip = 10200
+	if !p.ShouldCheckpoint(doomed) {
+		t.Error("deadline lost either way: checkpoint should proceed")
+	}
+	// Base policy says skip: still skip.
+	lowRisk := perform
+	lowRisk.PFail = 0
+	if p.ShouldCheckpoint(lowRisk) {
+		t.Error("override must not force checkpoints the base policy skips")
+	}
+	if p.Name() != "risk-based+deadline-skip" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestDeadlineBoundaryIsInclusive(t *testing.T) {
+	p := DeadlineOverride{Base: Periodic{}}
+	// Finishing exactly at the deadline counts as meeting it.
+	req := Request{
+		Params: DefaultParams(), Deadline: 1000,
+		EstFinishIfPerform: 1000, EstFinishIfSkip: 280,
+	}
+	if !p.ShouldCheckpoint(req) {
+		t.Error("finish == deadline should not trigger the skip")
+	}
+	req.EstFinishIfPerform = 1001
+	req.EstFinishIfSkip = 1000
+	if p.ShouldCheckpoint(req) {
+		t.Error("skip-finish == deadline should trigger the skip")
+	}
+}
+
+func TestRiskBasedMonotoneInRiskProperty(t *testing.T) {
+	params := Params{Interval: units.Hour, Overhead: 12 * units.Minute}
+	f := func(pfRaw uint16, d uint8) bool {
+		pf := float64(pfRaw%1001) / 1000
+		req := Request{PFail: pf, Params: params, AtRiskIntervals: int(d%20) + 1}
+		decision := (RiskBased{}).ShouldCheckpoint(req)
+		// If we checkpoint at pf, we must also checkpoint at any higher pf.
+		higher := req
+		higher.PFail = pf + (1-pf)/2
+		if decision && pf < 1 && !(RiskBased{}).ShouldCheckpoint(higher) {
+			return false
+		}
+		// And if we skip, any lower risk must also skip.
+		lower := req
+		lower.PFail = pf / 2
+		if !decision && (RiskBased{}).ShouldCheckpoint(lower) && pf > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

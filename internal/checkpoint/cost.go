@@ -1,0 +1,60 @@
+package checkpoint
+
+// This file makes the §3.4 cost model behind Equation 1 explicit. For a
+// request at time b_i with failure probability pf before the next
+// checkpoint completes, with d accumulated at-risk intervals:
+//
+//	cost(skip)    = pf * ((d+1)I + C)   — roll back d+1 intervals, plus the
+//	                                      next checkpoint's overhead paid again
+//	cost(perform) = pf * (I + 2C) + (1-pf) * C
+//
+// Using C_{i+1} ≈ C_i = C, "perform iff cost(skip) >= cost(perform)"
+// reduces to Equation 1: pf·d·I >= C. The functions below compute the two
+// sides so that tests (and curious users) can verify the reduction rather
+// than trust the comment.
+
+// ExpectedSkipCost returns the expected wall-time cost of skipping the
+// requested checkpoint, in seconds.
+func ExpectedSkipCost(pf float64, d int, p Params) float64 {
+	if d < 1 {
+		d = 1
+	}
+	i := p.Interval.Seconds()
+	c := p.Overhead.Seconds()
+	return pf * (float64(d+1)*i + c)
+}
+
+// ExpectedPerformCost returns the expected wall-time cost of performing the
+// requested checkpoint, in seconds.
+func ExpectedPerformCost(pf float64, p Params) float64 {
+	i := p.Interval.Seconds()
+	c := p.Overhead.Seconds()
+	return pf*(i+2*c) + (1-pf)*c
+}
+
+// EquationOneThreshold returns the smallest pf at which Equation 1 says a
+// checkpoint with d at-risk intervals is worth performing: pf = C / (d·I).
+func EquationOneThreshold(d int, p Params) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return p.Overhead.Seconds() / (float64(d) * p.Interval.Seconds())
+}
+
+// BreakEvenIntervals returns the smallest d at which Equation 1 performs a
+// checkpoint for the given pf, or -1 if no finite d suffices (pf = 0).
+// It quantifies how the base-rate hazard turns the risk-based rule into an
+// effective periodic policy with interval ~d·I.
+func BreakEvenIntervals(pf float64, p Params) int {
+	if pf <= 0 {
+		return -1
+	}
+	d := int(p.Overhead.Seconds() / (pf * p.Interval.Seconds()))
+	for float64(d)*pf*p.Interval.Seconds() < p.Overhead.Seconds() {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

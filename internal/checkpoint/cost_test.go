@@ -1,0 +1,92 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquationOneReduction(t *testing.T) {
+	// The risk-based decision must agree with comparing the explicit
+	// expected costs (using C_{i+1} ~= C_i, as in the paper's derivation).
+	p := DefaultParams()
+	f := func(pfRaw uint16, dRaw uint8) bool {
+		pf := float64(pfRaw%1001) / 1000
+		d := int(dRaw%12) + 1
+		byCosts := ExpectedSkipCost(pf, d, p) >= ExpectedPerformCost(pf, p)
+		byRule := (RiskBased{}).ShouldCheckpoint(Request{PFail: pf, Params: p, AtRiskIntervals: d})
+		return byCosts == byRule
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedCostsAtEndpoints(t *testing.T) {
+	p := DefaultParams()
+	if got := ExpectedSkipCost(0, 3, p); got != 0 {
+		t.Errorf("skip cost at pf=0 = %v, want 0 (no failure, no loss)", got)
+	}
+	if got := ExpectedPerformCost(0, p); got != p.Overhead.Seconds() {
+		t.Errorf("perform cost at pf=0 = %v, want C", got)
+	}
+	// At pf=1, skipping with d=1 loses 2I+C; performing costs I+2C.
+	if got, want := ExpectedSkipCost(1, 1, p), 2*3600.0+720; got != want {
+		t.Errorf("skip cost at pf=1 = %v, want %v", got, want)
+	}
+	if got, want := ExpectedPerformCost(1, p), 3600.0+2*720; got != want {
+		t.Errorf("perform cost at pf=1 = %v, want %v", got, want)
+	}
+}
+
+func TestEquationOneThreshold(t *testing.T) {
+	p := DefaultParams() // C/I = 0.2
+	tests := []struct {
+		d    int
+		want float64
+	}{
+		{d: 1, want: 0.2},
+		{d: 2, want: 0.1},
+		{d: 4, want: 0.05},
+		{d: 0, want: 0.2}, // clamps to 1
+	}
+	for _, tt := range tests {
+		if got := EquationOneThreshold(tt.d, p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("threshold(d=%d) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestBreakEvenIntervals(t *testing.T) {
+	p := DefaultParams()
+	tests := []struct {
+		pf   float64
+		want int
+	}{
+		{pf: 0, want: -1},
+		{pf: 0.2, want: 1}, // 0.2*1*3600 = 720 = C: exactly break-even
+		{pf: 0.1, want: 2}, // needs two intervals at risk
+		{pf: 0.011, want: 19},
+		{pf: 1, want: 1},
+	}
+	for _, tt := range tests {
+		if got := BreakEvenIntervals(tt.pf, p); got != tt.want {
+			t.Errorf("BreakEvenIntervals(pf=%v) = %d, want %d", tt.pf, got, tt.want)
+		}
+	}
+}
+
+func TestBreakEvenConsistentWithRuleProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(pfRaw uint16) bool {
+		pf := float64(pfRaw%999+1) / 1000
+		d := BreakEvenIntervals(pf, p)
+		rule := RiskBased{}
+		atD := rule.ShouldCheckpoint(Request{PFail: pf, Params: p, AtRiskIntervals: d})
+		belowD := d > 1 && rule.ShouldCheckpoint(Request{PFail: pf, Params: p, AtRiskIntervals: d - 1})
+		return atD && !belowD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package core composes the paper's control system — event prediction,
+// fault-aware scheduling, deadline negotiation, and cooperative
+// checkpointing — into a live System that can quote and accept job
+// submissions. The event-driven replay of whole job logs lives in
+// internal/sim; core is the interactive face of the same machinery and
+// backs the public probqos API.
+package core
+
+import (
+	"fmt"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/negotiate"
+	"probqos/internal/predict"
+	"probqos/internal/sched"
+	"probqos/internal/units"
+)
+
+// Option configures a System.
+type Option interface{ apply(*options) }
+
+type options struct {
+	params     checkpoint.Params
+	faultAware bool
+	slack      units.Duration
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithCheckpointParams overrides the Table 2 checkpoint constants.
+func WithCheckpointParams(p checkpoint.Params) Option {
+	return optionFunc(func(o *options) { o.params = p })
+}
+
+// WithFaultAware toggles prediction-driven node selection (default on).
+func WithFaultAware(enabled bool) Option {
+	return optionFunc(func(o *options) { o.faultAware = enabled })
+}
+
+// WithDowntimeSlack sets the node restart time used to widen quote risk
+// windows (default 120 s, Table 2).
+func WithDowntimeSlack(d units.Duration) Option {
+	return optionFunc(func(o *options) { o.slack = d })
+}
+
+// System is the probabilistic-QoS control plane over one cluster: it
+// quotes (deadline, probability) pairs, negotiates with user risk
+// strategies, and commits reservations.
+type System struct {
+	scheduler  *sched.Scheduler
+	negotiator *negotiate.Negotiator
+	predictor  *predict.Trace
+	params     checkpoint.Params
+	nodes      int
+}
+
+// Quote is re-exported for callers of the core API.
+type Quote = negotiate.Quote
+
+// NewSystem builds a System for a cluster of nodes, forecasting from the
+// failure trace with the given prediction accuracy.
+func NewSystem(nodes int, trace *failure.Trace, accuracy float64, opts ...Option) (*System, error) {
+	if trace == nil {
+		return nil, fmt.Errorf("core: a failure trace is required (it may be empty)")
+	}
+	if trace.Nodes() != nodes {
+		return nil, fmt.Errorf("core: failure trace covers %d nodes, cluster has %d", trace.Nodes(), nodes)
+	}
+	o := options{
+		params:     checkpoint.DefaultParams(),
+		faultAware: true,
+		slack:      2 * units.Minute,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if err := o.params.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := predict.NewTrace(trace, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	s := sched.New(nodes, pred,
+		sched.WithFaultAware(o.faultAware),
+		sched.WithQuoteSlack(o.slack),
+	)
+	return &System{
+		scheduler: s,
+		negotiator: negotiate.New(s,
+			negotiate.WithLocator(pred),
+			negotiate.WithFailureSlack(o.slack),
+		),
+		predictor: pred,
+		params:    o.params,
+		nodes:     nodes,
+	}, nil
+}
+
+// Nodes returns the cluster size.
+func (s *System) Nodes() int { return s.nodes }
+
+// PlannedDuration returns E_j: the reserved wall time for a job with
+// checkpoint-free execution time exec, assuming every checkpoint runs.
+func (s *System) PlannedDuration(exec units.Duration) units.Duration {
+	if exec <= 0 {
+		return 0
+	}
+	requests := (exec - 1) / s.params.Interval
+	return exec + units.Duration(requests)*s.params.Overhead
+}
+
+// Quotes previews up to max successive offers for a job of the given size
+// and execution time submitted at now, without reserving anything. Each
+// quote trades a later deadline for a higher promised success probability.
+func (s *System) Quotes(now units.Time, size int, exec units.Duration, max int) []Quote {
+	return s.negotiator.Quotes(now, size, s.PlannedDuration(exec), max)
+}
+
+// SuggestDeadline returns the earliest offer whose promised success
+// probability is at least minSuccess — the system-initiated form of the
+// dialog ("the scheduler could even suggest a deadline for the user,
+// citing the increased probability of success as a motivating factor",
+// §3.3). Nothing is reserved.
+func (s *System) SuggestDeadline(now units.Time, size int, exec units.Duration, minSuccess float64) (Quote, error) {
+	u, err := negotiate.NewUser(minSuccess)
+	if err != nil {
+		return Quote{}, err
+	}
+	q, _, err := s.negotiator.Negotiate(now, size, s.PlannedDuration(exec), u)
+	return q, err
+}
+
+// Submit negotiates with a user of risk strategy u and commits the accepted
+// reservation under jobID. It returns the accepted quote and the number of
+// offers it took.
+func (s *System) Submit(jobID int, now units.Time, size int, exec units.Duration, u negotiate.User) (Quote, int, error) {
+	duration := s.PlannedDuration(exec)
+	q, offers, err := s.negotiator.Negotiate(now, size, duration, u)
+	if err != nil {
+		return Quote{}, offers, err
+	}
+	if _, err := s.scheduler.Reserve(jobID, q.Candidate, duration); err != nil {
+		return Quote{}, offers, err
+	}
+	return q, offers, nil
+}
+
+// Release drops the reservation held by jobID (e.g. the user withdrew the
+// job before it ran).
+func (s *System) Release(jobID int) { s.scheduler.Release(jobID) }
+
+// PFail exposes the system's failure forecast for a node set and window —
+// the probability estimate behind every quote.
+func (s *System) PFail(nodes []int, from, to units.Time) float64 {
+	return s.predictor.PFail(nodes, from, to)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/negotiate"
+	"probqos/internal/units"
+)
+
+func newTrace(t *testing.T, nodes int, events []failure.Event) *failure.Trace {
+	t.Helper()
+	tr, err := failure.NewTrace(nodes, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	tr := newTrace(t, 8, nil)
+	tests := []struct {
+		name    string
+		nodes   int
+		trace   *failure.Trace
+		a       float64
+		opts    []Option
+		wantErr bool
+	}{
+		{name: "ok", nodes: 8, trace: tr, a: 0.5},
+		{name: "nil trace", nodes: 8, trace: nil, a: 0.5, wantErr: true},
+		{name: "node mismatch", nodes: 16, trace: tr, a: 0.5, wantErr: true},
+		{name: "bad accuracy", nodes: 8, trace: tr, a: 1.5, wantErr: true},
+		{
+			name: "bad checkpoint params", nodes: 8, trace: tr, a: 0.5,
+			opts:    []Option{WithCheckpointParams(checkpoint.Params{})},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSystem(tt.nodes, tt.trace, tt.a, tt.opts...)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewSystem error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlannedDuration(t *testing.T) {
+	sys, err := NewSystem(8, newTrace(t, 8, nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		exec units.Duration
+		want units.Duration
+	}{
+		{name: "zero", exec: 0, want: 0},
+		{name: "under one interval", exec: 3600, want: 3600},
+		{name: "just over", exec: 3601, want: 3601 + 720},
+		{name: "two and a half intervals", exec: 9000, want: 9000 + 2*720},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := sys.PlannedDuration(tt.exec); got != tt.want {
+				t.Errorf("PlannedDuration(%d) = %d, want %d", tt.exec, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPlannedDurationCustomParams(t *testing.T) {
+	sys, err := NewSystem(8, newTrace(t, 8, nil), 1,
+		WithCheckpointParams(checkpoint.Params{Interval: 100, Overhead: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.PlannedDuration(250); got != 250+2*10 {
+		t.Errorf("PlannedDuration = %d", got)
+	}
+}
+
+func TestQuotesAndSubmitFlow(t *testing.T) {
+	var events []failure.Event
+	for n := 0; n < 8; n++ {
+		events = append(events, failure.Event{Time: 1000, Node: n, Detectability: 0.3})
+	}
+	sys, err := NewSystem(8, newTrace(t, 8, events), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quotes := sys.Quotes(0, 8, 2000, 4)
+	if len(quotes) < 2 {
+		t.Fatalf("quotes = %+v", quotes)
+	}
+	if quotes[0].Success != 0.7 {
+		t.Errorf("first quote success = %v, want 0.7", quotes[0].Success)
+	}
+	if last := quotes[len(quotes)-1]; last.Success != 1 {
+		t.Errorf("final quote success = %v, want 1", last.Success)
+	}
+
+	q, offers, err := sys.Submit(1, 0, 8, 2000, negotiate.User{U: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers < 2 || q.Success < 0.9 {
+		t.Errorf("submit accepted %+v after %d offers", q, offers)
+	}
+
+	// The same job ID cannot reserve twice.
+	if _, _, err := sys.Submit(1, 0, 8, 2000, negotiate.User{U: 0}); err == nil {
+		t.Error("duplicate job ID should fail")
+	}
+	sys.Release(1)
+	if _, _, err := sys.Submit(1, 0, 8, 2000, negotiate.User{U: 0}); err != nil {
+		t.Errorf("resubmission after release failed: %v", err)
+	}
+}
+
+func TestSubmitInvalidSize(t *testing.T) {
+	sys, err := NewSystem(4, newTrace(t, 4, nil), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Submit(1, 0, 5, 1000, negotiate.User{U: 0}); err == nil {
+		t.Error("oversized job should fail")
+	}
+	if got := sys.Nodes(); got != 4 {
+		t.Errorf("Nodes = %d", got)
+	}
+}
+
+func TestPFailPassthrough(t *testing.T) {
+	events := []failure.Event{{Time: 500, Node: 2, Detectability: 0.4}}
+	sys, err := NewSystem(4, newTrace(t, 4, events), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf := sys.PFail([]int{2}, 0, 1000); pf != 0.4 {
+		t.Errorf("PFail = %v, want 0.4", pf)
+	}
+	if pf := sys.PFail([]int{1}, 0, 1000); pf != 0 {
+		t.Errorf("PFail = %v, want 0", pf)
+	}
+}
+
+func TestFirstFitOption(t *testing.T) {
+	events := []failure.Event{{Time: 500, Node: 0, Detectability: 0.4}}
+	tr := newTrace(t, 4, events)
+	aware, err := NewSystem(4, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := NewSystem(4, tr, 1, WithFaultAware(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := aware.Quotes(0, 2, 1000, 1)
+	qb := blind.Quotes(0, 2, 1000, 1)
+	if qa[0].Success != 1 {
+		t.Errorf("fault-aware quote = %+v, want success 1 (avoids node 0)", qa[0])
+	}
+	if qb[0].Success != 0.6 {
+		t.Errorf("first-fit quote = %+v, want success 0.6 (includes node 0)", qb[0])
+	}
+}
+
+func TestDowntimeSlackWidensRiskWindow(t *testing.T) {
+	// Failure 60 s before the requested start: only a slack >= 60 sees it.
+	events := []failure.Event{{Time: 940, Node: 0, Detectability: 0.5}}
+	tr := newTrace(t, 1, events)
+	tight, err := NewSystem(1, tr, 1, WithDowntimeSlack(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewSystem(1, tr, 1, WithDowntimeSlack(2*units.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := tight.Quotes(1000, 1, 500, 1); q[0].Success != 1 {
+		t.Errorf("zero-slack quote = %+v, want success 1", q[0])
+	}
+	if q := wide.Quotes(1000, 1, 500, 1); q[0].Success != 0.5 {
+		t.Errorf("wide-slack quote = %+v, want success 0.5", q[0])
+	}
+}
+
+func TestSuggestDeadline(t *testing.T) {
+	var events []failure.Event
+	for n := 0; n < 8; n++ {
+		events = append(events, failure.Event{Time: 2000, Node: n, Detectability: 0.5})
+	}
+	sys, err := NewSystem(8, newTrace(t, 8, events), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A suggestion demanding certainty lands after the episode.
+	q, err := sys.SuggestDeadline(0, 8, 3000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Success < 0.95 || q.Candidate.Start <= 2000 {
+		t.Errorf("suggestion = %+v", q)
+	}
+	// Nothing was reserved: the immediate slot is still offered afterwards.
+	first := sys.Quotes(0, 8, 3000, 1)
+	if len(first) != 1 || first[0].Candidate.Start != 0 {
+		t.Errorf("suggestion must not reserve: %+v", first)
+	}
+	if _, err := sys.SuggestDeadline(0, 8, 3000, 1.5); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+}

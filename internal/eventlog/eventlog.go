@@ -1,0 +1,87 @@
+// Package eventlog records the simulator's event journal as JSON lines and
+// reads it back for analysis. cmd/qossim -journal uses it.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"probqos/internal/sim"
+)
+
+// Writer is a sim.Observer that appends each note as one JSON line. Errors
+// are sticky: the first write failure is remembered and later notes are
+// dropped; check Err (or Close) when the run finishes.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+var _ sim.Observer = (*Writer)(nil)
+
+// NewWriter creates a journal writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe implements sim.Observer.
+func (w *Writer) Observe(n sim.Note) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(n); err != nil {
+		w.err = fmt.Errorf("eventlog: write: %w", err)
+	}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes buffered notes and returns the first error seen.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("eventlog: flush: %w", err)
+	}
+	return w.err
+}
+
+// Read parses a journal written by Writer.
+func Read(r io.Reader) ([]sim.Note, error) {
+	var notes []sim.Note
+	dec := json.NewDecoder(r)
+	for {
+		var n sim.Note
+		if err := dec.Decode(&n); err == io.EOF {
+			return notes, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("eventlog: parse line %d: %w", len(notes)+1, err)
+		}
+		notes = append(notes, n)
+	}
+}
+
+// Summary counts notes by kind.
+func Summary(notes []sim.Note) map[string]int {
+	counts := make(map[string]int)
+	for _, n := range notes {
+		counts[n.Kind]++
+	}
+	return counts
+}

@@ -1,0 +1,83 @@
+package eventlog
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/sim"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// TestJournalMatchesSimulatorAccounting runs a real simulation with the
+// journal attached and cross-checks the journal-reconstructed occupancy
+// against the simulator's own busy-node-second integration. The two are
+// independent code paths over the same events, so agreement is a strong
+// consistency check.
+func TestJournalMatchesSimulatorAccounting(t *testing.T) {
+	log := workload.GenerateSDSC(workload.GenConfig{Jobs: 150, Seed: 17, ClusterNodes: 16})
+	for i := range log.Jobs {
+		if log.Jobs[i].Nodes > 16 {
+			log.Jobs[i].Nodes = 16
+		}
+	}
+	tr, err := failure.GenerateTrace(
+		failure.RawConfig{Nodes: 16, Episodes: 40, Span: 90 * units.Day, Seed: 17},
+		failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	journal := NewWriter(&buf)
+	cfg := sim.DefaultConfig(log, tr)
+	cfg.Nodes = 16
+	cfg.Accuracy = 0.6
+	cfg.UserRisk = 0.5
+	cfg.Observer = journal
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	notes, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const step = units.Duration(60)
+	series := OccupancySeries(notes, 16, step)
+	if len(series) == 0 {
+		t.Fatal("no occupancy series")
+	}
+	var integrated float64
+	for _, frac := range series {
+		if frac < 0 || frac > 1 {
+			t.Fatalf("occupancy fraction out of range: %v", frac)
+		}
+		integrated += frac * step.Seconds() * 16
+	}
+	want := res.BusyNodeSeconds.NodeSeconds()
+	if want == 0 {
+		t.Fatal("simulator accounted no busy time")
+	}
+	// Riemann-sum discretization error only.
+	if rel := math.Abs(integrated-want) / want; rel > 0.01 {
+		t.Errorf("journal occupancy %.4g vs simulator %.4g (relative error %.4f)",
+			integrated, want, rel)
+	}
+
+	// The journal's per-job story must be complete: every job has an
+	// arrival, at least one start, and exactly one finish.
+	for _, j := range res.Jobs {
+		timeline := JobTimeline(notes, j.ID)
+		counts := Summary(timeline)
+		if counts["arrival"] != 1 || counts["finish"] != 1 || counts["start"] < 1 {
+			t.Fatalf("job %d journal incomplete: %v", j.ID, counts)
+		}
+	}
+}

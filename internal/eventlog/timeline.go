@@ -1,0 +1,77 @@
+package eventlog
+
+import (
+	"sort"
+
+	"probqos/internal/sim"
+	"probqos/internal/units"
+)
+
+// JobTimeline extracts one job's notes from a journal, in time order: the
+// quickest way to answer "what happened to job 4711?" after a run.
+func JobTimeline(notes []sim.Note, jobID int) []sim.Note {
+	var out []sim.Note
+	for _, n := range notes {
+		if n.JobID == jobID {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// NodeTimeline extracts one node's failure/recovery notes from a journal.
+func NodeTimeline(notes []sim.Note, node int) []sim.Note {
+	var out []sim.Note
+	for _, n := range notes {
+		if n.Node == node && (n.Kind == "failure" || n.Kind == "recovery") {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// OccupancySeries reconstructs the busy-node count over time from a
+// journal: one sample per step, derived from width-annotated start, finish,
+// and job-killing failure notes. It returns fractions of clusterNodes.
+func OccupancySeries(notes []sim.Note, clusterNodes int, step units.Duration) []float64 {
+	if clusterNodes <= 0 || step <= 0 || len(notes) == 0 {
+		return nil
+	}
+	type change struct {
+		at    units.Time
+		delta int
+	}
+	var changes []change
+	var end units.Time
+	for _, n := range notes {
+		if n.Time > end {
+			end = n.Time
+		}
+		switch n.Kind {
+		case "start":
+			changes = append(changes, change{at: n.Time, delta: n.Width})
+		case "finish":
+			changes = append(changes, change{at: n.Time, delta: -n.Width})
+		case "failure":
+			if n.JobID != 0 {
+				changes = append(changes, change{at: n.Time, delta: -n.Width})
+			}
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].at < changes[j].at })
+
+	samples := int(end/units.Time(step)) + 1
+	out := make([]float64, samples)
+	busy, k := 0, 0
+	for i := 0; i < samples; i++ {
+		at := units.Time(i) * units.Time(step)
+		for k < len(changes) && changes[k].at <= at {
+			busy += changes[k].delta
+			k++
+		}
+		out[i] = float64(busy) / float64(clusterNodes)
+	}
+	return out
+}

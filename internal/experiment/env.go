@@ -1,0 +1,333 @@
+// Package experiment defines the paper's evaluation: one experiment per
+// table and figure (Table 1, Table 2, Figures 1-12), the headline-numbers
+// summary, and the ablations of DESIGN.md §6. cmd/qossweep and the
+// benchmark harness both execute these definitions, so the CLI output and
+// the bench output are the same rows the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/health"
+	"probqos/internal/metrics"
+	"probqos/internal/sim"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// Env carries the shared inputs (workloads, failure trace) and memoizes
+// simulation points, since the figures share many (log, a, U) runs.
+// An Env is safe for concurrent use.
+type Env struct {
+	// JobCount scales the workloads; 0 means the paper's 10,000 jobs.
+	JobCount int
+	// Seed selects the synthetic trace streams.
+	Seed int64
+	// Workers bounds parallel point evaluation; 0 means GOMAXPROCS.
+	Workers int
+
+	mu        sync.Mutex
+	logs      map[string]*workload.Log
+	trace     *failure.Trace
+	altTraces map[string]*failure.Trace
+	rawLog    []failure.RawEvent
+	monitor   *health.Monitor
+	points    map[pointKey]metrics.Report
+}
+
+type pointKey struct {
+	log     string
+	a, u    float64
+	variant string
+}
+
+// NewEnv returns an Env at the paper's full scale.
+func NewEnv() *Env {
+	return &Env{
+		logs:      make(map[string]*workload.Log),
+		altTraces: make(map[string]*failure.Trace),
+		points:    make(map[pointKey]metrics.Report),
+	}
+}
+
+func (e *Env) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Log returns the named synthetic workload, generating it on first use.
+func (e *Env) Log(name string) (*workload.Log, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l, ok := e.logs[name]; ok {
+		return l, nil
+	}
+	l, err := workload.Generate(name, workload.GenConfig{Jobs: e.JobCount, Seed: e.Seed})
+	if err != nil {
+		return nil, err
+	}
+	e.logs[name] = l
+	return l, nil
+}
+
+// Trace returns the shared failure trace, generating it on first use.
+func (e *Env) Trace() (*failure.Trace, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.trace != nil {
+		return e.trace, nil
+	}
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: e.Seed}, failure.FilterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	e.trace = tr
+	return tr, nil
+}
+
+// Variants are the named configuration ablations. The empty name is the
+// full system.
+var variants = map[string]func(*sim.Config){
+	"":              nil,
+	"first-fit":     func(c *sim.Config) { c.FaultAware = false },
+	"no-skip":       func(c *sim.Config) { c.DeadlineSkip = false },
+	"no-negotiate":  func(c *sim.Config) { c.Negotiate = false },
+	"pure-forecast": func(c *sim.Config) { c.BaseRateFloor = false },
+	"periodic":      func(c *sim.Config) { c.Policy = checkpoint.Periodic{} },
+	"no-checkpoint": func(c *sim.Config) { c.Policy = checkpoint.Never{} },
+	// Failure-model variants swap the failure trace itself (handled in
+	// compute, not by mutating the config): the stochastic-model follow-up
+	// study the paper suggests.
+	"poisson-failures": nil,
+	"weibull-failures": nil,
+	// Horizon variants degrade prediction accuracy with forecast distance
+	// (§3.3: "predictions are less accurate as they stretch further into
+	// the future").
+	"horizon-6h":  func(c *sim.Config) { c.PredictionHalfLife = 6 * units.Hour },
+	"horizon-48h": func(c *sim.Config) { c.PredictionHalfLife = 48 * units.Hour },
+	// inflated-estimates swaps the workload for one whose users
+	// overestimate runtimes ~1.8x on average (§3.3 notes exact estimates
+	// are "not always true in practice"). Handled in compute.
+	"inflated-estimates": nil,
+	// monitor-predictor replaces the idealized trace predictor with the
+	// working health monitor built from telemetry and precursor events
+	// (§3.1/§3.2). Handled in compute.
+	"monitor-predictor": nil,
+}
+
+// Monitor returns the shared health-monitoring predictor, building the raw
+// log and telemetry on first use. The raw log uses the same configuration
+// as Trace(), so the monitor's ground truth is the trace the simulator
+// replays.
+func (e *Env) Monitor() (*health.Monitor, error) {
+	e.mu.Lock()
+	if e.monitor != nil {
+		m := e.monitor
+		e.mu.Unlock()
+		return m, nil
+	}
+	e.mu.Unlock()
+	raw := failure.GenerateRawLog(failure.RawConfig{Seed: e.Seed})
+	telemetry, err := health.Generate(health.TelemetryConfig{Seed: e.Seed}, raw)
+	if err != nil {
+		return nil, err
+	}
+	m, err := health.NewMonitor(telemetry, raw, health.MonitorConfig{})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.rawLog = raw
+	e.monitor = m
+	e.mu.Unlock()
+	return m, nil
+}
+
+// inflatedLog returns the memoized estimate-inflated twin of a workload.
+func (e *Env) inflatedLog(name string) (*workload.Log, error) {
+	key := "inflated/" + name
+	e.mu.Lock()
+	if l, ok := e.logs[key]; ok {
+		e.mu.Unlock()
+		return l, nil
+	}
+	e.mu.Unlock()
+	l, err := workload.Generate(name, workload.GenConfig{
+		Jobs: e.JobCount, Seed: e.Seed, EstimateInflation: 0.8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.logs[key] = l
+	e.mu.Unlock()
+	return l, nil
+}
+
+// stochasticTrace returns the memoized statistical-model trace for a
+// failure-model variant, matched to the real trace's rate.
+func (e *Env) stochasticTrace(variant string) (*failure.Trace, error) {
+	kind := failure.Exponential
+	if variant == "weibull-failures" {
+		kind = failure.WeibullDecreasing
+	}
+	e.mu.Lock()
+	if tr, ok := e.altTraces[variant]; ok {
+		e.mu.Unlock()
+		return tr, nil
+	}
+	e.mu.Unlock()
+	tr, err := failure.GenerateStochastic(failure.StochasticConfig{Kind: kind, Seed: e.Seed})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.altTraces[variant] = tr
+	e.mu.Unlock()
+	return tr, nil
+}
+
+// VariantNames lists the ablation variants in a stable order.
+func VariantNames() []string {
+	names := make([]string, 0, len(variants))
+	for n := range variants {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Point runs (or recalls) one simulation at (log, a, u) under the named
+// variant and returns its metrics.
+func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, error) {
+	key := pointKey{log: log, a: a, u: u, variant: variant}
+	e.mu.Lock()
+	if r, ok := e.points[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	r, err := e.compute(key)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	e.mu.Lock()
+	e.points[key] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+func (e *Env) compute(key pointKey) (metrics.Report, error) {
+	mutate, ok := variants[key.variant]
+	if !ok {
+		return metrics.Report{}, fmt.Errorf("experiment: unknown variant %q", key.variant)
+	}
+	log, err := e.Log(key.log)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	tr, err := e.Trace()
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	switch key.variant {
+	case "poisson-failures", "weibull-failures":
+		if tr, err = e.stochasticTrace(key.variant); err != nil {
+			return metrics.Report{}, err
+		}
+	case "inflated-estimates":
+		if log, err = e.inflatedLog(key.log); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	var monitorPred *health.Monitor
+	if key.variant == "monitor-predictor" {
+		if monitorPred, err = e.Monitor(); err != nil {
+			return metrics.Report{}, err
+		}
+	}
+	cfg := sim.DefaultConfig(log, tr)
+	cfg.Accuracy = key.a
+	cfg.UserRisk = key.u
+	if monitorPred != nil {
+		cfg.Predictor = monitorPred
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("experiment: %s a=%.1f U=%.1f %q: %w",
+			key.log, key.a, key.u, key.variant, err)
+	}
+	return metrics.Compute(res), nil
+}
+
+// PointSpec names one simulation point for prefetching.
+type PointSpec struct {
+	Log     string
+	A, U    float64
+	Variant string
+}
+
+// Prefetch evaluates the points concurrently (bounded by Workers) so later
+// Point calls hit the cache. The first error aborts remaining work.
+func (e *Env) Prefetch(specs []PointSpec) error {
+	// Deduplicate and drop already-cached points.
+	e.mu.Lock()
+	seen := make(map[pointKey]bool, len(specs))
+	var todo []pointKey
+	for _, s := range specs {
+		key := pointKey{log: s.Log, a: s.A, u: s.U, variant: s.Variant}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := e.points[key]; !ok {
+			todo = append(todo, key)
+		}
+	}
+	e.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		work     = make(chan pointKey)
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < e.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range work {
+				r, err := e.compute(key)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				e.mu.Lock()
+				e.points[key] = r
+				e.mu.Unlock()
+			}
+		}()
+	}
+	for _, key := range todo {
+		work <- key
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,657 @@
+package experiment
+
+import (
+	"fmt"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/metrics"
+	"probqos/internal/sim"
+	"probqos/internal/table"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// Experiment regenerates one table or figure of the paper (or one ablation
+// from DESIGN.md §6).
+type Experiment struct {
+	// ID is the short name used by cmd/qossweep -exp and the bench names
+	// (e.g. "fig1", "table2", "ablation-checkpoint").
+	ID string
+	// Title describes what is produced.
+	Title string
+	// Paper states what the paper reports for this artifact, for
+	// side-by-side comparison in EXPERIMENTS.md.
+	Paper string
+	// Run produces the output tables.
+	Run func(e *Env) ([]*table.Table, error)
+}
+
+// sweep values 0.0 .. 1.0 in steps of 0.1, as in §4.4.
+var sweep = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// figureUs are the three user strategies highlighted in Figures 1-6.
+var figureUs = []float64{0.1, 0.5, 0.9}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		table1Exp(),
+		table2Exp(),
+		accuracyFigure("fig1", "QoS vs. prediction accuracy, SDSC log", "SDSC",
+			"QoS rises from ~0.90 toward ~0.99; benefits visible even at a=0.1",
+			func(r metrics.Report) string { return table.Float(r.QoS, 4) }),
+		accuracyFigure("fig2", "QoS vs. prediction accuracy, NASA log", "NASA",
+			"QoS in 0.93-0.99; little benefit until a >= U; nondecreasing at U=0.9",
+			func(r metrics.Report) string { return table.Float(r.QoS, 4) }),
+		accuracyFigure("fig3", "Average utilization vs. prediction accuracy, SDSC log", "SDSC",
+			"utilization ~0.64-0.71, increasing with a",
+			func(r metrics.Report) string { return table.Float(r.Utilization, 4) }),
+		accuracyFigure("fig4", "Average utilization vs. prediction accuracy, NASA log", "NASA",
+			"utilization ~0.55-0.59, increasing with a",
+			func(r metrics.Report) string { return table.Float(r.Utilization, 4) }),
+		accuracyFigure("fig5", "Total work lost vs. prediction accuracy, SDSC log", "SDSC",
+			"lost work falls from ~4.5e7 toward ~0.5e7 node-s as a rises",
+			func(r metrics.Report) string { return table.Sci(r.LostWork.NodeSeconds()) }),
+		accuracyFigure("fig6", "Total work lost vs. prediction accuracy, NASA log", "NASA",
+			"lost work falls from ~4.5e6 toward ~0.5e6 node-s; ~10x below SDSC",
+			func(r metrics.Report) string { return table.Sci(r.LostWork.NodeSeconds()) }),
+		fig7Exp(),
+		fig8Exp(),
+		userFigure("fig9", "Average utilization vs. user behavior, SDSC log, a=1", "SDSC",
+			"utilization ~0.685-0.72, increasing with U",
+			func(r metrics.Report) string { return table.Float(r.Utilization, 4) }),
+		userFigure("fig10", "Average utilization vs. user behavior, NASA log, a=1", "NASA",
+			"utilization ~0.555-0.595, increasing with U",
+			func(r metrics.Report) string { return table.Float(r.Utilization, 4) }),
+		userFigure("fig11", "Total work lost vs. user behavior, SDSC log, a=1", "SDSC",
+			"lost work decreasing with U, ~2.5e7 -> ~0",
+			func(r metrics.Report) string { return table.Sci(r.LostWork.NodeSeconds()) }),
+		userFigure("fig12", "Total work lost vs. user behavior, NASA log, a=1", "NASA",
+			"lost work decreasing with U, ~4.5e6 -> ~0",
+			func(r metrics.Report) string { return table.Sci(r.LostWork.NodeSeconds()) }),
+		headlineExp(),
+		ablationNodeSelection(),
+		ablationCheckpointPolicy(),
+		ablationDeadlineSkip(),
+		ablationNegotiation(),
+		ablationBaseRate(),
+		ablationFailureModel(),
+		ablationHorizon(),
+		ablationEstimates(),
+		ablationMonitor(),
+		sweepCheckpointParams(),
+		sweepClusterSize(),
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, exp := range All() {
+		if exp.ID == id {
+			return exp, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func table1Exp() Experiment {
+	return Experiment{
+		ID:    "table1",
+		Title: "Table 1: job log characteristics",
+		Paper: "NASA: avg 6.3 nodes, avg 381 s, max 12 h; SDSC: avg 9.7 nodes, avg 7722 s, max 132 h",
+		Run: func(e *Env) ([]*table.Table, error) {
+			t := table.New("Table 1: Job log characteristics",
+				"Job Log", "Avg nj (nodes)", "Avg ej (s)", "Max ej (hr)",
+				"Paper Avg nj", "Paper Avg ej", "Paper Max ej")
+			paper := map[string][3]string{
+				"NASA": {"6.3", "381", "12"},
+				"SDSC": {"9.7", "7722", "132"},
+			}
+			for _, name := range []string{"NASA", "SDSC"} {
+				log, err := e.Log(name)
+				if err != nil {
+					return nil, err
+				}
+				c := log.Characteristics()
+				p := paper[name]
+				t.Add(name,
+					table.Float(c.AvgNodes, 1),
+					table.Float(c.AvgExec, 0),
+					table.Float(c.MaxExec.Hours(), 0),
+					p[0], p[1], p[2])
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func table2Exp() Experiment {
+	return Experiment{
+		ID:    "table2",
+		Title: "Table 2: simulation parameters",
+		Paper: "N=128, C=720 s, I=3600 s, a,U in [0,1], downtime 120 s",
+		Run: func(e *Env) ([]*table.Table, error) {
+			p := checkpoint.DefaultParams()
+			t := table.New("Table 2: Simulation parameters",
+				"N (nodes)", "C (s)", "I (s)", "a", "U", "downtime (s)")
+			t.Add("128",
+				fmt.Sprintf("%d", int64(p.Overhead)),
+				fmt.Sprintf("%d", int64(p.Interval)),
+				"[0,1]", "[0,1]",
+				fmt.Sprintf("%d", int64(2*units.Minute)))
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+// accuracyFigure builds a "metric vs a" figure with curves for U = 0.1,
+// 0.5, 0.9 (Figures 1-6).
+func accuracyFigure(id, title, log, paper string, cell func(metrics.Report) string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title + ", U=0.1/0.5/0.9",
+		Paper: paper,
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, a := range sweep {
+				for _, u := range figureUs {
+					specs = append(specs, PointSpec{Log: log, A: a, U: u})
+				}
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New(title, "Accuracy (a)", "U=0.1", "U=0.5", "U=0.9")
+			for _, a := range sweep {
+				row := []string{table.Float(a, 1)}
+				for _, u := range figureUs {
+					r, err := e.Point(log, a, u, "")
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, cell(r))
+				}
+				t.Add(row...)
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+// userFigure builds a "metric vs U" figure at a = 1 (Figures 9-12).
+func userFigure(id, title, log, paper string, cell func(metrics.Report) string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Paper: paper,
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, u := range sweep {
+				specs = append(specs, PointSpec{Log: log, A: 1, U: u})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New(title, "User Parameter (U)", "value")
+			for _, u := range sweep {
+				r, err := e.Point(log, 1, u, "")
+				if err != nil {
+					return nil, err
+				}
+				t.Add(table.Float(u, 1), cell(r))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func fig7Exp() Experiment {
+	return Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: QoS vs. user behavior, SDSC log, a=0.5",
+		Paper: "QoS varies with U only below the point where the accuracy cap binds, then is flat",
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, u := range sweep {
+				specs = append(specs, PointSpec{Log: "SDSC", A: 0.5, U: u})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Figure 7: QoS vs. user behavior, SDSC log, a=0.5",
+				"User Parameter (U)", "QoS")
+			for _, u := range sweep {
+				r, err := e.Point("SDSC", 0.5, u, "")
+				if err != nil {
+					return nil, err
+				}
+				t.Add(table.Float(u, 1), table.Float(r.QoS, 4))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func fig8Exp() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: QoS vs. user behavior, both logs, a=1",
+		Paper: "QoS increases with U for both logs, reaching ~0.99-1.0 at U=1",
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, u := range sweep {
+				specs = append(specs,
+					PointSpec{Log: "SDSC", A: 1, U: u},
+					PointSpec{Log: "NASA", A: 1, U: u})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Figure 8: QoS vs. user behavior, flat cluster, a=1",
+				"User Parameter (U)", "SDSC", "NASA")
+			for _, u := range sweep {
+				sdsc, err := e.Point("SDSC", 1, u, "")
+				if err != nil {
+					return nil, err
+				}
+				nasa, err := e.Point("NASA", 1, u, "")
+				if err != nil {
+					return nil, err
+				}
+				t.Add(table.Float(u, 1), table.Float(sdsc.QoS, 4), table.Float(nasa.QoS, 4))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func headlineExp() Experiment {
+	return Experiment{
+		ID:    "headline",
+		Title: "Headline improvements vs. the no-forecasting baseline",
+		Paper: "QoS/utilization up by as much as 6% (accuracy sweep) and 4%/3% (user sweep); lost work reduced ~9x (89%)",
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, log := range []string{"NASA", "SDSC"} {
+				for _, u := range []float64{0, 0.9, 1} {
+					specs = append(specs,
+						PointSpec{Log: log, A: 0, U: u},
+						PointSpec{Log: log, A: 1, U: u})
+				}
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Headline: a=0 (no forecasting) vs a=1 (perfect prediction), and U=0 vs U=1 at a=1",
+				"Log", "Comparison", "QoS delta", "Util delta", "Lost work ratio", "Paper")
+			for _, log := range []string{"NASA", "SDSC"} {
+				base, err := e.Point(log, 0, 0.9, "")
+				if err != nil {
+					return nil, err
+				}
+				best, err := e.Point(log, 1, 0.9, "")
+				if err != nil {
+					return nil, err
+				}
+				t.Add(log, "a: 0 -> 1 (U=0.9)",
+					"+"+table.Float(100*(best.QoS-base.QoS), 1)+"%",
+					"+"+table.Float(100*(best.Utilization-base.Utilization), 1)+"%",
+					lostRatio(base.LostWork, best.LostWork),
+					"+6% QoS/util, /9 lost work")
+
+				loose, err := e.Point(log, 1, 0, "")
+				if err != nil {
+					return nil, err
+				}
+				strict, err := e.Point(log, 1, 1, "")
+				if err != nil {
+					return nil, err
+				}
+				t.Add(log, "U: 0 -> 1 (a=1)",
+					"+"+table.Float(100*(strict.QoS-loose.QoS), 1)+"%",
+					"+"+table.Float(100*(strict.Utilization-loose.Utilization), 1)+"%",
+					lostRatio(loose.LostWork, strict.LostWork),
+					"+4% QoS, +3% util, /9 lost work")
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func lostRatio(base, best units.Work) string {
+	if best == 0 {
+		if base == 0 {
+			return "1.0x"
+		}
+		return "inf (to zero)"
+	}
+	return table.Float(base.NodeSeconds()/best.NodeSeconds(), 1) + "x"
+}
+
+// ablation builds a full-system vs variant comparison at representative
+// operating points.
+func ablation(id, title, paper, variant string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Paper: paper,
+		Run: func(e *Env) ([]*table.Table, error) {
+			points := []struct {
+				log  string
+				a, u float64
+			}{
+				{log: "SDSC", a: 0.5, u: 0.5},
+				{log: "SDSC", a: 1, u: 0.9},
+				{log: "NASA", a: 0.5, u: 0.5},
+			}
+			var specs []PointSpec
+			for _, p := range points {
+				specs = append(specs,
+					PointSpec{Log: p.log, A: p.a, U: p.u},
+					PointSpec{Log: p.log, A: p.a, U: p.u, Variant: variant})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New(title,
+				"Log", "a", "U", "System", "QoS", "Utilization", "Lost work")
+			for _, p := range points {
+				full, err := e.Point(p.log, p.a, p.u, "")
+				if err != nil {
+					return nil, err
+				}
+				alt, err := e.Point(p.log, p.a, p.u, variant)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(p.log, table.Float(p.a, 1), table.Float(p.u, 1), "full",
+					table.Float(full.QoS, 4), table.Float(full.Utilization, 4),
+					table.Sci(full.LostWork.NodeSeconds()))
+				t.Add(p.log, table.Float(p.a, 1), table.Float(p.u, 1), variant,
+					table.Float(alt.QoS, 4), table.Float(alt.Utilization, 4),
+					table.Sci(alt.LostWork.NodeSeconds()))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func ablationNodeSelection() Experiment {
+	return ablation("ablation-nodesel",
+		"Ablation: fault-aware node selection vs first fit",
+		"fault-aware tie-breaking is the scheduler half of the paper's mechanism",
+		"first-fit")
+}
+
+func ablationCheckpointPolicy() Experiment {
+	return Experiment{
+		ID:    "ablation-checkpoint",
+		Title: "Ablation: risk-based vs periodic vs no checkpointing",
+		Paper: "risk-based cooperative checkpointing performs only the checkpoints that matter",
+		Run: func(e *Env) ([]*table.Table, error) {
+			var specs []PointSpec
+			for _, v := range []string{"", "periodic", "no-checkpoint"} {
+				specs = append(specs, PointSpec{Log: "SDSC", A: 0.5, U: 0.5, Variant: v})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Ablation: checkpoint policy, SDSC log, a=0.5, U=0.5",
+				"Policy", "QoS", "Utilization", "Lost work", "Checkpoints done", "Skipped")
+			for _, v := range []string{"", "periodic", "no-checkpoint"} {
+				r, err := e.Point("SDSC", 0.5, 0.5, v)
+				if err != nil {
+					return nil, err
+				}
+				name := v
+				if name == "" {
+					name = "risk-based"
+				}
+				t.Add(name, table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+					table.Sci(r.LostWork.NodeSeconds()),
+					fmt.Sprintf("%d", r.CheckpointsDone), fmt.Sprintf("%d", r.CheckpointsSkipped))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func ablationDeadlineSkip() Experiment {
+	return ablation("ablation-deadlineskip",
+		"Ablation: deadline-driven checkpoint skipping on vs off",
+		"skipping checkpoints is a strategy for meeting deadlines (§3.4)",
+		"no-skip")
+}
+
+func ablationNegotiation() Experiment {
+	return ablation("ablation-negotiation",
+		"Ablation: negotiation on vs users always taking the first quote",
+		"the market-based dialog is the paper's central contribution",
+		"no-negotiate")
+}
+
+func ablationBaseRate() Experiment {
+	return ablation("ablation-baserate",
+		"Ablation: MTBF-floored risk estimate vs pure forecast",
+		"DESIGN.md: Equation 1 with pf = forecast alone skips every checkpoint at low a",
+		"pure-forecast")
+}
+
+func ablationHorizon() Experiment {
+	return Experiment{
+		ID:    "ablation-horizon",
+		Title: "Ablation: prediction horizon (accuracy decays with forecast distance)",
+		Paper: "§3.3: in practice, predictions are less accurate as they stretch further into the future; the paper's simulator idealizes this away",
+		Run: func(e *Env) ([]*table.Table, error) {
+			horizons := []struct{ variant, label string }{
+				{variant: "", label: "static (paper)"},
+				{variant: "horizon-48h", label: "48h half-life"},
+				{variant: "horizon-6h", label: "6h half-life"},
+			}
+			var specs []PointSpec
+			for _, h := range horizons {
+				specs = append(specs,
+					PointSpec{Log: "SDSC", A: 1, U: 0.9, Variant: h.variant},
+					PointSpec{Log: "SDSC", A: 0.5, U: 0.5, Variant: h.variant})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Ablation: prediction horizon, SDSC log",
+				"Horizon", "a", "U", "QoS", "Utilization", "Lost work")
+			for _, h := range horizons {
+				for _, p := range []struct{ a, u float64 }{{1, 0.9}, {0.5, 0.5}} {
+					r, err := e.Point("SDSC", p.a, p.u, h.variant)
+					if err != nil {
+						return nil, err
+					}
+					t.Add(h.label, table.Float(p.a, 1), table.Float(p.u, 1),
+						table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+						table.Sci(r.LostWork.NodeSeconds()))
+				}
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+// runCustom executes one simulation outside the (a, U, variant) point cache
+// for experiments that vary other configuration dimensions.
+func runCustom(e *Env, logName string, a, u float64, mutate func(*sim.Config)) (metrics.Report, error) {
+	log, err := e.Log(logName)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	tr, err := e.Trace()
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	cfg := sim.DefaultConfig(log, tr)
+	cfg.Accuracy = a
+	cfg.UserRisk = u
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return metrics.Compute(res), nil
+}
+
+func sweepCheckpointParams() Experiment {
+	return Experiment{
+		ID:    "sweep-checkpoint",
+		Title: "Sweep: checkpoint interval I and overhead C around the Table 2 point",
+		Paper: "Table 2 fixes I=3600 s, C=720 s; the companion periodic-checkpointing study (Oliner et al., IPDPS 2005 workshop) motivates the sensitivity question",
+		Run: func(e *Env) ([]*table.Table, error) {
+			t := table.New("Sweep: checkpoint parameters, SDSC log, a=0.5, U=0.5",
+				"I (s)", "C (s)", "QoS", "Utilization", "Lost work", "Ckpts done")
+			for _, params := range []checkpoint.Params{
+				{Interval: 1800, Overhead: 720},
+				{Interval: 3600, Overhead: 360},
+				{Interval: 3600, Overhead: 720}, // Table 2
+				{Interval: 3600, Overhead: 1440},
+				{Interval: 7200, Overhead: 720},
+				{Interval: 14400, Overhead: 720},
+			} {
+				params := params
+				r, err := runCustom(e, "SDSC", 0.5, 0.5, func(c *sim.Config) { c.Checkpoint = params })
+				if err != nil {
+					return nil, err
+				}
+				t.Add(
+					fmt.Sprintf("%d", int64(params.Interval)),
+					fmt.Sprintf("%d", int64(params.Overhead)),
+					table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+					table.Sci(r.LostWork.NodeSeconds()),
+					fmt.Sprintf("%d", r.CheckpointsDone))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func sweepClusterSize() Experiment {
+	return Experiment{
+		ID:    "sweep-clustersize",
+		Title: "Sweep: cluster size N with proportional workload and failure rate",
+		Paper: "beyond the paper (capacity planning): the paper fixes N=128",
+		Run: func(e *Env) ([]*table.Table, error) {
+			t := table.New("Sweep: cluster size, SDSC-regime workload, a=0.7, U=0.5",
+				"N (nodes)", "Failures", "QoS", "Utilization", "Lost work")
+			jobs := e.JobCount
+			if jobs == 0 {
+				jobs = 10000
+			}
+			for _, n := range []int{64, 128, 256} {
+				log := workload.GenerateSDSC(workload.GenConfig{
+					Jobs: jobs, Seed: e.Seed, ClusterNodes: n,
+				})
+				// Hold the per-node failure rate constant: episodes scale
+				// with the node count.
+				tr, err := failure.GenerateTrace(failure.RawConfig{
+					Nodes: n, Seed: e.Seed, Episodes: 1021 * n / 128,
+				}, failure.FilterConfig{Seed: e.Seed})
+				if err != nil {
+					return nil, err
+				}
+				cfg := sim.DefaultConfig(log, tr)
+				cfg.Nodes = n
+				cfg.Accuracy = 0.7
+				cfg.UserRisk = 0.5
+				res, err := sim.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				r := metrics.Compute(res)
+				t.Add(fmt.Sprintf("%d", n), fmt.Sprintf("%d", tr.Len()),
+					table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+					table.Sci(r.LostWork.NodeSeconds()))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func ablationEstimates() Experiment {
+	return ablation("ablation-estimates",
+		"Ablation: exact runtime estimates vs ~1.8x user overestimation",
+		"§3.3: the simulations assume exact estimates, which 'is not always true in practice'",
+		"inflated-estimates")
+}
+
+func ablationMonitor() Experiment {
+	return Experiment{
+		ID:    "ablation-monitor",
+		Title: "Ablation: idealized trace predictor vs working health monitor",
+		Paper: "§3.1/§3.2 describe the real mechanism (time-series + event-correlation models, ~70% detection, negligible false positives); the paper's sweeps idealize it as the px<=a oracle",
+		Run: func(e *Env) ([]*table.Table, error) {
+			predictors := []struct {
+				variant, label string
+				a              float64
+			}{
+				{variant: "", label: "oracle a=0.7", a: 0.7},
+				{variant: "monitor-predictor", label: "health monitor", a: 0},
+				{variant: "", label: "no forecasting", a: 0},
+			}
+			var specs []PointSpec
+			for _, p := range predictors {
+				specs = append(specs, PointSpec{Log: "SDSC", A: p.a, U: 0.5, Variant: p.variant})
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Ablation: predictor realism, SDSC log, U=0.5",
+				"Predictor", "QoS", "Utilization", "Lost work", "Job failures")
+			for _, p := range predictors {
+				r, err := e.Point("SDSC", p.a, 0.5, p.variant)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(p.label, table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+					table.Sci(r.LostWork.NodeSeconds()), fmt.Sprintf("%d", r.JobFailures))
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}
+
+func ablationFailureModel() Experiment {
+	return Experiment{
+		ID:    "ablation-failuremodel",
+		Title: "Ablation: trace-driven failures vs stochastic models (Poisson, Weibull)",
+		Paper: "§5.1: typical statistical failure models are poor indicators of actual system behavior; a stochastic model is suggested follow-up work",
+		Run: func(e *Env) ([]*table.Table, error) {
+			models := []struct{ variant, label string }{
+				{variant: "", label: "trace-driven"},
+				{variant: "weibull-failures", label: "weibull model"},
+				{variant: "poisson-failures", label: "poisson model"},
+			}
+			var specs []PointSpec
+			for _, m := range models {
+				for _, a := range []float64{0, 0.5, 1} {
+					specs = append(specs, PointSpec{Log: "SDSC", A: a, U: 0.5, Variant: m.variant})
+				}
+			}
+			if err := e.Prefetch(specs); err != nil {
+				return nil, err
+			}
+			t := table.New("Ablation: failure model, SDSC log, U=0.5 (equal mean failure rate)",
+				"Failure model", "a", "QoS", "Utilization", "Lost work", "Job failures")
+			for _, m := range models {
+				for _, a := range []float64{0, 0.5, 1} {
+					r, err := e.Point("SDSC", a, 0.5, m.variant)
+					if err != nil {
+						return nil, err
+					}
+					t.Add(m.label, table.Float(a, 1),
+						table.Float(r.QoS, 4), table.Float(r.Utilization, 4),
+						table.Sci(r.LostWork.NodeSeconds()), fmt.Sprintf("%d", r.JobFailures))
+				}
+			}
+			return []*table.Table{t}, nil
+		},
+	}
+}

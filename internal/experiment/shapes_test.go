@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// These tests pin the paper-shape properties EXPERIMENTS.md claims, at a
+// medium scale (2500 jobs) that keeps the suite fast while leaving enough
+// failures in the window for the trends to be real.
+
+func shapeEnv() *Env {
+	e := NewEnv()
+	e.JobCount = 2500
+	return e
+}
+
+func TestShapeQoSImprovesWithAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape test")
+	}
+	e := shapeEnv()
+	for _, log := range []string{"SDSC", "NASA"} {
+		base, err := e.Point(log, 0, 0.9, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := e.Point(log, 1, 0.9, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: QoS %.4f -> %.4f, util %.4f -> %.4f, lost %.3g -> %.3g",
+			log, base.QoS, best.QoS, base.Utilization, best.Utilization,
+			base.LostWork.NodeSeconds(), best.LostWork.NodeSeconds())
+		if best.QoS <= base.QoS {
+			t.Errorf("%s: QoS did not improve with accuracy: %.4f -> %.4f", log, base.QoS, best.QoS)
+		}
+		if best.Utilization < base.Utilization-0.01 {
+			t.Errorf("%s: guarantees cost utilization: %.4f -> %.4f",
+				log, base.Utilization, best.Utilization)
+		}
+		if best.LostWork >= base.LostWork {
+			t.Errorf("%s: lost work did not fall: %v -> %v", log, base.LostWork, best.LostWork)
+		}
+		// QoS stays in the plausible band of the paper's plots.
+		if base.QoS < 0.6 || best.QoS > 1 {
+			t.Errorf("%s: QoS band [%v, %v] implausible", log, base.QoS, best.QoS)
+		}
+	}
+}
+
+func TestShapePerfectPredictionPerfectUsersGiveQoSOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape test")
+	}
+	e := shapeEnv()
+	for _, log := range []string{"SDSC", "NASA"} {
+		r, err := e.Point(log, 1, 1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.QoS != 1 {
+			t.Errorf("%s: QoS at a=1,U=1 = %v, want exactly 1 (idealized predictor)", log, r.QoS)
+		}
+		if r.LostWork != 0 {
+			t.Errorf("%s: lost work at a=1,U=1 = %v, want 0", log, r.LostWork)
+		}
+		if r.DeadlineMissRate != 0 {
+			t.Errorf("%s: misses at a=1,U=1 = %v, want 0", log, r.DeadlineMissRate)
+		}
+	}
+}
+
+func TestShapeSDSCLosesMoreWorkThanNASA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape test")
+	}
+	e := shapeEnv()
+	sdsc, err := e.Point("SDSC", 0, 0.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nasa, err := e.Point("NASA", 0, 0.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lost work: SDSC %.3g, NASA %.3g (ratio %.1f)",
+		sdsc.LostWork.NodeSeconds(), nasa.LostWork.NodeSeconds(),
+		sdsc.LostWork.NodeSeconds()/nasa.LostWork.NodeSeconds())
+	if sdsc.LostWork.NodeSeconds() < 3*nasa.LostWork.NodeSeconds() {
+		t.Errorf("SDSC should lose several times NASA's work: %v vs %v",
+			sdsc.LostWork, nasa.LostWork)
+	}
+}
+
+func TestShapeInsensitiveRegimeFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape test")
+	}
+	e := shapeEnv()
+	// At a = 0.5 the predictor caps pf at 0.5, so promises never fall
+	// below 0.5 and all users with U <= 0.5 behave identically.
+	var prev *float64
+	for _, u := range []float64{0, 0.25, 0.5} {
+		r, err := e.Point("SDSC", 0.5, u, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && r.QoS != *prev {
+			t.Errorf("U=%v: QoS %.6f differs inside the insensitive regime (%.6f)", u, r.QoS, *prev)
+		}
+		q := r.QoS
+		prev = &q
+	}
+}
+
+func TestShapeQoSRisesWithUserStrictnessAtPerfectAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape test")
+	}
+	e := shapeEnv()
+	lo, err := e.Point("SDSC", 1, 0.1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := e.Point("SDSC", 1, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.QoS <= lo.QoS {
+		t.Errorf("QoS should rise with U at a=1: %.4f -> %.4f", lo.QoS, hi.QoS)
+	}
+	if hi.LostWork > lo.LostWork {
+		t.Errorf("lost work should fall with U at a=1: %v -> %v", lo.LostWork, hi.LostWork)
+	}
+}

@@ -1,0 +1,93 @@
+package failure
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"probqos/internal/units"
+)
+
+// RawLogStats summarizes an unfiltered RAS log: the view an operator has
+// before filtering, and the numbers that justify the filtering pipeline
+// (critical events vastly outnumber root causes).
+type RawLogStats struct {
+	Events      int
+	BySeverity  map[Severity]int
+	BySubsystem map[Subsystem]int
+	Critical    int // FATAL + FAILURE
+	Span        units.Duration
+}
+
+// AnalyzeRawLog computes summary statistics of a raw log.
+func AnalyzeRawLog(events []RawEvent) RawLogStats {
+	s := RawLogStats{
+		Events:      len(events),
+		BySeverity:  make(map[Severity]int),
+		BySubsystem: make(map[Subsystem]int),
+	}
+	if len(events) == 0 {
+		return s
+	}
+	first, last := events[0].Time, events[0].Time
+	for _, e := range events {
+		s.BySeverity[e.Severity]++
+		s.BySubsystem[e.Subsystem]++
+		if e.Severity >= Fatal {
+			s.Critical++
+		}
+		first = first.Min(e.Time)
+		last = last.Max(e.Time)
+	}
+	s.Span = last.Sub(first)
+	return s
+}
+
+// WriteTo renders the statistics as a human-readable report.
+func (s RawLogStats) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := write("events:    %d over %.1f days (%d critical)\n",
+		s.Events, s.Span.Hours()/24, s.Critical); err != nil {
+		return total, err
+	}
+	severities := make([]Severity, 0, len(s.BySeverity))
+	for sev := range s.BySeverity {
+		severities = append(severities, sev)
+	}
+	sort.Slice(severities, func(i, j int) bool { return severities[i] < severities[j] })
+	for _, sev := range severities {
+		if err := write("  %-8s %d\n", sev, s.BySeverity[sev]); err != nil {
+			return total, err
+		}
+	}
+	subsystems := make([]Subsystem, 0, len(s.BySubsystem))
+	for sub := range s.BySubsystem {
+		subsystems = append(subsystems, sub)
+	}
+	sort.Slice(subsystems, func(i, j int) bool { return subsystems[i] < subsystems[j] })
+	for _, sub := range subsystems {
+		if err := write("  %-8s %d\n", sub, s.BySubsystem[sub]); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Slice returns a new trace containing only the failures with Time in
+// [from, to), re-based so the first instant of the window is time zero.
+// It supports simulating against a sub-period of a longer trace.
+func (t *Trace) Slice(from, to units.Time) (*Trace, error) {
+	var events []Event
+	for _, e := range t.events {
+		if e.Time >= from && e.Time < to {
+			e.Time -= from
+			events = append(events, e)
+		}
+	}
+	return NewTrace(t.nodes, events)
+}

@@ -1,0 +1,70 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+
+	"probqos/internal/units"
+)
+
+func TestAnalyzeRawLog(t *testing.T) {
+	events := []RawEvent{
+		{Time: 0, Node: 0, Severity: Info, Subsystem: SubsystemDisk},
+		{Time: 100, Node: 1, Severity: Fatal, Subsystem: SubsystemDisk},
+		{Time: 200, Node: 2, Severity: Failure, Subsystem: SubsystemCPU},
+		{Time: units.Time(units.Day), Node: 3, Severity: Warning, Subsystem: SubsystemCPU},
+	}
+	s := AnalyzeRawLog(events)
+	if s.Events != 4 || s.Critical != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BySeverity[Fatal] != 1 || s.BySubsystem[SubsystemCPU] != 2 {
+		t.Errorf("maps = %+v", s)
+	}
+	if s.Span != units.Day {
+		t.Errorf("span = %v", s.Span)
+	}
+	var sb strings.Builder
+	if _, err := s.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events:", "FATAL", "cpu", "2 critical"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestAnalyzeRawLogEmpty(t *testing.T) {
+	s := AnalyzeRawLog(nil)
+	if s.Events != 0 || s.Span != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{
+		{Time: 100, Node: 0, Detectability: 0.1},
+		{Time: 500, Node: 1, Detectability: 0.2},
+		{Time: 900, Node: 2, Detectability: 0.3},
+	})
+	sliced, err := tr.Slice(400, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Len() != 1 {
+		t.Fatalf("sliced %d events, want 1", sliced.Len())
+	}
+	got := sliced.At(0)
+	if got.Time != 100 || got.Node != 1 {
+		t.Errorf("rebased event = %+v, want time 100 on node 1", got)
+	}
+	// Empty slice is valid.
+	empty, err := tr.Slice(2000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty slice has %d events", empty.Len())
+	}
+}

@@ -1,0 +1,35 @@
+package failure
+
+import (
+	"testing"
+
+	"probqos/internal/units"
+)
+
+// BenchmarkGenerateAndFilter measures the full trace pipeline: raw log
+// generation plus root-cause filtering for a year of 128-node history.
+func BenchmarkGenerateAndFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace(RawConfig{Seed: int64(i)}, FilterConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceScan measures the windowed multi-node query the predictor
+// performs on every risk estimate.
+func BenchmarkTraceScan(b *testing.B) {
+	tr, err := GenerateTrace(RawConfig{Seed: 3}, FilterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int, 16)
+	for i := range nodes {
+		nodes[i] = i * 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := units.Time(i%2000) * 3600
+		tr.Scan(nodes, from, from.Add(6*units.Hour), func(Event) bool { return true })
+	}
+}

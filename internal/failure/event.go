@@ -1,0 +1,82 @@
+// Package failure models the failure substrate of the paper: raw RAS event
+// logs, the filtering pipeline that isolates job-killing failures from them
+// (per §4.3, following the BlueGene/L filtering methodology), and the
+// resulting failure trace with per-event static detectability used by the
+// event predictor.
+package failure
+
+import (
+	"fmt"
+
+	"probqos/internal/units"
+)
+
+// Severity classifies a raw RAS event. Only Fatal and Failure events can
+// kill a job; lower severities are the "patterns of misbehavior" that
+// precede failures and make them predictable.
+type Severity int
+
+// Severity levels, lowest to highest.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+	Fatal
+	Failure
+)
+
+var severityNames = map[Severity]string{
+	Info:    "INFO",
+	Warning: "WARNING",
+	Error:   "ERROR",
+	Fatal:   "FATAL",
+	Failure: "FAILURE",
+}
+
+func (s Severity) String() string {
+	if n, ok := severityNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Subsystem labels the component a raw event came from. The filter treats
+// same-subsystem events that are close in time as sharing a root cause.
+type Subsystem string
+
+// Subsystems seen in large-cluster RAS logs.
+const (
+	SubsystemMemory  Subsystem = "memory"
+	SubsystemNetwork Subsystem = "network"
+	SubsystemDisk    Subsystem = "disk"
+	SubsystemCPU     Subsystem = "cpu"
+	SubsystemSoft    Subsystem = "software"
+	SubsystemPower   Subsystem = "power"
+)
+
+// Subsystems lists every subsystem label the generator emits.
+var Subsystems = []Subsystem{
+	SubsystemMemory, SubsystemNetwork, SubsystemDisk,
+	SubsystemCPU, SubsystemSoft, SubsystemPower,
+}
+
+// RawEvent is one line of an unfiltered RAS log.
+type RawEvent struct {
+	Time      units.Time
+	Node      int
+	Severity  Severity
+	Subsystem Subsystem
+}
+
+// Event is one filtered failure: a critical event that immediately kills
+// any job running on the node at that time.
+type Event struct {
+	// Time is the failure instant t_x.
+	Time units.Time
+	// Node is the failed node.
+	Node int
+	// Detectability is the static p_x in [0, 1] assigned to this failure.
+	// A predictor with accuracy a "sees" the failure iff p_x <= a, and
+	// reports p_x as the probability of failure (§4.3).
+	Detectability float64
+}

@@ -1,0 +1,39 @@
+package failure
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte("time,node,detectability\n100,5,0.25\n"))
+	f.Add([]byte("# comment\n1,2,0.9\n"))
+	f.Add([]byte("1,2\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := ParseCSV(64, bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
+			if e.Node < 0 || e.Node >= 64 || e.Detectability < 0 || e.Detectability > 1 {
+				t.Fatalf("parser accepted invalid event %+v", e)
+			}
+		}
+	})
+}
+
+func FuzzParseRawLog(f *testing.F) {
+	f.Add([]byte("# raw\n100 3 FATAL disk\n200 4 WARNING cpu\n"))
+	f.Add([]byte("junk\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		events, err := ParseRawLog(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRawLog(&buf, events); err != nil {
+			t.Fatalf("accepted raw log failed to serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package failure
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probqos/internal/units"
+)
+
+// WriteCSV writes the trace as "time,node,detectability" lines with a
+// header comment, the on-disk format cmd/tracegen emits and cmd/qossim
+// reads.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# failure trace: nodes=%d failures=%d\n", t.nodes, len(t.events))
+	fmt.Fprintln(bw, "time,node,detectability")
+	for _, e := range t.events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%.9f\n", int64(e.Time), e.Node, e.Detectability); err != nil {
+			return fmt.Errorf("failure: write trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("failure: write trace: %w", err)
+	}
+	return nil
+}
+
+// ParseCSV reads a trace written by WriteCSV. The nodes argument gives the
+// cluster size the trace applies to.
+func ParseCSV(nodes int, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "time,") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("failure: line %d: %d fields, want 3", lineNo, len(parts))
+		}
+		tm, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: line %d: time: %w", lineNo, err)
+		}
+		node, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("failure: line %d: node: %w", lineNo, err)
+		}
+		px, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: line %d: detectability: %w", lineNo, err)
+		}
+		events = append(events, Event{Time: units.Time(tm), Node: node, Detectability: px})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("failure: read trace: %w", err)
+	}
+	return NewTrace(nodes, events)
+}

@@ -1,0 +1,77 @@
+package failure
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probqos/internal/units"
+)
+
+// WriteRawLog writes an unfiltered RAS log as whitespace-separated
+// "time node severity subsystem" lines, the format cmd/tracegen emits and
+// cmd/tracefilter consumes.
+func WriteRawLog(w io.Writer, events []RawEvent) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# raw RAS log: events=%d\n", len(events))
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d %d %s %s\n", int64(e.Time), e.Node, e.Severity, e.Subsystem); err != nil {
+			return fmt.Errorf("failure: write raw log: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("failure: write raw log: %w", err)
+	}
+	return nil
+}
+
+var severityByName = map[string]Severity{
+	"INFO":    Info,
+	"WARNING": Warning,
+	"ERROR":   Error,
+	"FATAL":   Fatal,
+	"FAILURE": Failure,
+}
+
+// ParseRawLog reads a log written by WriteRawLog.
+func ParseRawLog(r io.Reader) ([]RawEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []RawEvent
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("failure: raw log line %d: %d fields, want 4", lineNo, len(fields))
+		}
+		tm, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: raw log line %d: time: %w", lineNo, err)
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("failure: raw log line %d: node: %w", lineNo, err)
+		}
+		sev, ok := severityByName[fields[2]]
+		if !ok {
+			return nil, fmt.Errorf("failure: raw log line %d: unknown severity %q", lineNo, fields[2])
+		}
+		events = append(events, RawEvent{
+			Time:      units.Time(tm),
+			Node:      node,
+			Severity:  sev,
+			Subsystem: Subsystem(fields[3]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("failure: read raw log: %w", err)
+	}
+	return events, nil
+}

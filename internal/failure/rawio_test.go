@@ -1,0 +1,58 @@
+package failure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probqos/internal/units"
+)
+
+func TestRawLogRoundTrip(t *testing.T) {
+	orig := GenerateRawLog(RawConfig{Episodes: 30, Span: 10 * units.Day, Seed: 4})
+	var buf bytes.Buffer
+	if err := WriteRawLog(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseRawLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip changed length: %d -> %d", len(orig), len(parsed))
+	}
+	for i := range orig {
+		if parsed[i] != orig[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, parsed[i], orig[i])
+		}
+	}
+}
+
+func TestParseRawLogErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "wrong field count", give: "1 2 FATAL\n"},
+		{name: "bad time", give: "x 2 FATAL disk\n"},
+		{name: "bad node", give: "1 x FATAL disk\n"},
+		{name: "bad severity", give: "1 2 CATASTROPHIC disk\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseRawLog(strings.NewReader(tt.give)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestParseRawLogSkipsComments(t *testing.T) {
+	events, err := ParseRawLog(strings.NewReader("# header\n\n5 3 FATAL disk\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Node != 3 {
+		t.Errorf("events = %+v", events)
+	}
+}

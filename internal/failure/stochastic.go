@@ -1,0 +1,155 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"probqos/internal/stats"
+	"probqos/internal/units"
+)
+
+// StochasticKind selects a classical statistical failure model. The paper
+// argues (citing Plank & Elwasif) that such models are poor stand-ins for
+// real traces because they miss burstiness and per-node skew; the
+// stochastic generator exists to demonstrate exactly that, as the paper's
+// suggested follow-up study.
+type StochasticKind int
+
+// Stochastic model kinds.
+const (
+	// Exponential draws i.i.d. exponential inter-failure gaps (a Poisson
+	// process): the memoryless textbook model.
+	Exponential StochasticKind = iota + 1
+	// WeibullDecreasing draws Weibull gaps with shape < 1: a decreasing
+	// hazard that clusters failures, the empirically better fit.
+	WeibullDecreasing
+)
+
+func (k StochasticKind) String() string {
+	switch k {
+	case Exponential:
+		return "exponential"
+	case WeibullDecreasing:
+		return "weibull"
+	}
+	return fmt.Sprintf("StochasticKind(%d)", int(k))
+}
+
+// StochasticConfig parameterizes GenerateStochastic.
+type StochasticConfig struct {
+	// Kind selects the gap distribution. Defaults to Exponential.
+	Kind StochasticKind
+	// Nodes is the cluster size. Defaults to 128.
+	Nodes int
+	// Span is the trace duration. Defaults to one year.
+	Span units.Duration
+	// ClusterMTBF is the cluster-wide mean time between failures.
+	// Defaults to 8.5 hours, matching the paper's trace.
+	ClusterMTBF units.Duration
+	// Shape is the Weibull shape for WeibullDecreasing. Defaults to 0.6.
+	Shape float64
+	// Seed selects the random stream.
+	Seed int64
+	// UniformNodes places each failure on a uniformly random node instead
+	// of the skewed (Zipf-like) node distribution of real clusters.
+	UniformNodes bool
+}
+
+func (c StochasticConfig) withDefaults() StochasticConfig {
+	if c.Kind == 0 {
+		c.Kind = Exponential
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 128
+	}
+	if c.Span == 0 {
+		c.Span = units.Year
+	}
+	if c.ClusterMTBF == 0 {
+		c.ClusterMTBF = units.Duration(8.5 * float64(units.Hour))
+	}
+	if c.Shape == 0 {
+		c.Shape = 0.6
+	}
+	return c
+}
+
+// GenerateStochastic draws a failure trace from a purely statistical model
+// with the same mean rate as the trace-driven generator but none of its
+// causal texture (no raw log, no root-cause structure). Detectabilities
+// are assigned uniformly as in §4.3.
+func GenerateStochastic(cfg StochasticConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ClusterMTBF <= 0 || cfg.Span <= 0 {
+		return nil, fmt.Errorf("failure: stochastic model needs positive span and MTBF")
+	}
+	if cfg.Kind != Exponential && cfg.Kind != WeibullDecreasing {
+		return nil, fmt.Errorf("failure: unknown stochastic kind %d", int(cfg.Kind))
+	}
+	src := stats.NewSource(cfg.Seed ^ 0x7a3d9f2)
+	gapSrc := src.Split("gaps")
+	nodeSrc := src.Split("nodes")
+	detSrc := src.Split("detect")
+
+	// Weibull with shape k and scale s has mean s*Gamma(1+1/k); match the
+	// requested MTBF exactly.
+	mean := cfg.ClusterMTBF.Seconds()
+	weibullScale := mean / math.Gamma(1+1/cfg.Shape)
+
+	nodePick := nodePicker(nodeSrc, cfg.Nodes, cfg.UniformNodes)
+
+	var events []Event
+	for t := 0.0; ; {
+		var gap float64
+		switch cfg.Kind {
+		case Exponential:
+			gap = gapSrc.Exp(mean)
+		case WeibullDecreasing:
+			gap = gapSrc.Weibull(cfg.Shape, weibullScale)
+		}
+		t += gap
+		if t >= cfg.Span.Seconds() {
+			break
+		}
+		events = append(events, Event{
+			Time:          units.Time(math.Round(t)),
+			Node:          nodePick(),
+			Detectability: detSrc.Float64(),
+		})
+	}
+	return NewTrace(cfg.Nodes, events)
+}
+
+// nodePicker returns a node sampler: uniform, or Zipf-skewed like the
+// trace-driven generator.
+func nodePicker(src *stats.Source, nodes int, uniform bool) func() int {
+	if uniform {
+		return func() int { return src.Intn(nodes) }
+	}
+	weights := make([]float64, nodes)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -0.45)
+	}
+	src.Shuffle(nodes, func(i, j int) { weights[i], weights[j] = weights[j], weights[i] })
+	pick := stats.NewWeightedChoice(weights)
+	return func() int { return pick.Sample(src) }
+}
+
+// GapCV returns the coefficient of variation of a trace's inter-failure
+// gaps: 1 for a Poisson process, above 1 for bursty traces. It quantifies
+// the burstiness that separates real failure behaviour from the
+// exponential model (Plank & Elwasif; §5.1 "jaggedness" discussion).
+func (t *Trace) GapCV() float64 {
+	if len(t.events) < 3 {
+		return 0
+	}
+	var gaps []float64
+	for i := 1; i < len(t.events); i++ {
+		gaps = append(gaps, t.events[i].Time.Sub(t.events[i-1].Time).Seconds())
+	}
+	s := stats.Summarize(gaps)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}

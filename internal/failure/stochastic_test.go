@@ -1,0 +1,136 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"probqos/internal/units"
+)
+
+func TestGenerateStochasticExponential(t *testing.T) {
+	tr, err := GenerateStochastic(StochasticConfig{Kind: Exponential, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// One year at MTBF 8.5 h -> ~1030 failures.
+	if math.Abs(float64(s.Failures)-1030) > 120 {
+		t.Errorf("failures = %d, want ~1030", s.Failures)
+	}
+	if math.Abs(s.ClusterMTBF.Hours()-8.5) > 1.0 {
+		t.Errorf("MTBF = %.2fh, want ~8.5", s.ClusterMTBF.Hours())
+	}
+	// A Poisson process has gap CV ~= 1.
+	if cv := tr.GapCV(); math.Abs(cv-1) > 0.15 {
+		t.Errorf("exponential gap CV = %.2f, want ~1", cv)
+	}
+}
+
+func TestGenerateStochasticWeibullIsBurstier(t *testing.T) {
+	exp, err := GenerateStochastic(StochasticConfig{Kind: Exponential, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := GenerateStochastic(StochasticConfig{Kind: WeibullDecreasing, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.GapCV() <= exp.GapCV()+0.2 {
+		t.Errorf("Weibull CV %.2f should clearly exceed exponential CV %.2f",
+			wb.GapCV(), exp.GapCV())
+	}
+	// Both hit the same mean rate.
+	ratio := float64(wb.Len()) / float64(exp.Len())
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("rate mismatch: weibull %d vs exponential %d failures", wb.Len(), exp.Len())
+	}
+}
+
+func TestGenerateStochasticValidation(t *testing.T) {
+	if _, err := GenerateStochastic(StochasticConfig{ClusterMTBF: -1}); err == nil {
+		t.Error("negative MTBF should fail")
+	}
+	if _, err := GenerateStochastic(StochasticConfig{Kind: StochasticKind(9)}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestGenerateStochasticNodeModes(t *testing.T) {
+	skewed, err := GenerateStochastic(StochasticConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := GenerateStochastic(StochasticConfig{Seed: 3, UniformNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxShare := func(tr *Trace) float64 {
+		counts := make(map[int]int)
+		for _, e := range tr.Events() {
+			counts[e.Node]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(tr.Len())
+	}
+	if maxShare(skewed) <= 1.8*maxShare(uniform) {
+		t.Errorf("skewed max node share %.3f should clearly exceed uniform %.3f",
+			maxShare(skewed), maxShare(uniform))
+	}
+}
+
+func TestGenerateStochasticDeterminism(t *testing.T) {
+	a, err := GenerateStochastic(StochasticConfig{Seed: 4, Span: 60 * units.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStochastic(StochasticConfig{Seed: 4, Span: 60 * units.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestStochasticKindString(t *testing.T) {
+	if Exponential.String() != "exponential" || WeibullDecreasing.String() != "weibull" {
+		t.Error("kind names wrong")
+	}
+	if StochasticKind(7).String() != "StochasticKind(7)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestGapCVDegenerate(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{{Time: 1, Node: 0}})
+	if tr.GapCV() != 0 {
+		t.Error("tiny trace CV should be 0")
+	}
+}
+
+func TestTraceDrivenBurstierThanPoisson(t *testing.T) {
+	// The central claim behind using real traces: the trace-driven
+	// generator is burstier than the exponential model at equal rate.
+	real, err := GenerateTrace(RawConfig{Seed: 5}, FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := GenerateStochastic(StochasticConfig{Kind: Exponential, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.GapCV() <= model.GapCV()+0.3 {
+		t.Errorf("trace CV %.2f should clearly exceed Poisson CV %.2f",
+			real.GapCV(), model.GapCV())
+	}
+}

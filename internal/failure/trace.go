@@ -1,0 +1,161 @@
+package failure
+
+import (
+	"fmt"
+	"sort"
+
+	"probqos/internal/units"
+)
+
+// Trace is a filtered failure trace over a fixed-size cluster: the input the
+// simulator and the predictor consume. Events are sorted by time; a node may
+// fail repeatedly.
+type Trace struct {
+	events  []Event
+	nodes   int
+	perNode [][]int // indices into events, per node, ascending in time
+}
+
+// NewTrace builds a trace over a cluster of n nodes. Events are copied and
+// sorted by time. It returns an error if any event references a node outside
+// [0, n) or carries a detectability outside [0, 1].
+func NewTrace(nodes int, events []Event) (*Trace, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("failure: trace needs a positive node count, got %d", nodes)
+	}
+	t := &Trace{
+		events:  make([]Event, len(events)),
+		nodes:   nodes,
+		perNode: make([][]int, nodes),
+	}
+	copy(t.events, events)
+	sort.SliceStable(t.events, func(i, j int) bool { return t.events[i].Time < t.events[j].Time })
+	for i, e := range t.events {
+		if e.Node < 0 || e.Node >= nodes {
+			return nil, fmt.Errorf("failure: event %d references node %d outside [0,%d)", i, e.Node, nodes)
+		}
+		if e.Detectability < 0 || e.Detectability > 1 {
+			return nil, fmt.Errorf("failure: event %d has detectability %v outside [0,1]", i, e.Detectability)
+		}
+		t.perNode[e.Node] = append(t.perNode[e.Node], i)
+	}
+	return t, nil
+}
+
+// Nodes returns the cluster size the trace covers.
+func (t *Trace) Nodes() int { return t.nodes }
+
+// Len returns the number of failures in the trace.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Events returns a copy of all failures in time order.
+func (t *Trace) Events() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// At returns the i-th failure in time order.
+func (t *Trace) At(i int) Event { return t.events[i] }
+
+// NodeEvents returns the failures of one node in time order.
+func (t *Trace) NodeEvents(node int) []Event {
+	idx := t.perNode[node]
+	out := make([]Event, len(idx))
+	for i, k := range idx {
+		out[i] = t.events[k]
+	}
+	return out
+}
+
+// NextOnNode returns the first failure of node at or after from, if any.
+func (t *Trace) NextOnNode(node int, from units.Time) (Event, bool) {
+	idx := t.perNode[node]
+	i := sort.Search(len(idx), func(i int) bool { return t.events[idx[i]].Time >= from })
+	if i == len(idx) {
+		return Event{}, false
+	}
+	return t.events[idx[i]], true
+}
+
+// Scan calls fn for each failure with Time in [from, to) on any of the given
+// nodes, in ascending time order, stopping early if fn returns false.
+// It runs in O(len(nodes) * log(events) + hits) by merging per-node streams.
+func (t *Trace) Scan(nodes []int, from, to units.Time, fn func(Event) bool) {
+	// cursor[i] is the next per-node index not yet yielded for nodes[i].
+	cursors := make([]int, len(nodes))
+	for i, n := range nodes {
+		idx := t.perNode[n]
+		cursors[i] = sort.Search(len(idx), func(k int) bool { return t.events[idx[k]].Time >= from })
+	}
+	for {
+		best := -1
+		var bestEvent Event
+		for i, n := range nodes {
+			idx := t.perNode[n]
+			if cursors[i] >= len(idx) {
+				continue
+			}
+			e := t.events[idx[cursors[i]]]
+			if e.Time >= to {
+				continue
+			}
+			if best == -1 || e.Time < bestEvent.Time ||
+				(e.Time == bestEvent.Time && idx[cursors[i]] < best) {
+				best = idx[cursors[i]]
+				bestEvent = e
+			}
+		}
+		if best == -1 {
+			return
+		}
+		for i, n := range nodes {
+			if c := cursors[i]; c < len(t.perNode[n]) && t.perNode[n][c] == best {
+				cursors[i]++
+			}
+		}
+		if !fn(bestEvent) {
+			return
+		}
+	}
+}
+
+// Window returns all failures with Time in [from, to) on the given nodes, in
+// time order.
+func (t *Trace) Window(nodes []int, from, to units.Time) []Event {
+	var out []Event
+	t.Scan(nodes, from, to, func(e Event) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Stats summarizes a trace for calibration and reporting.
+type Stats struct {
+	Failures    int
+	Span        units.Duration // last event time - first event time
+	ClusterMTBF units.Duration // span / (failures-1), cluster-wide
+	NodeMTBF    units.Duration // average per-node MTBF (ClusterMTBF * nodes)
+	PerDay      float64
+	MaxPerNode  int
+}
+
+// Stats computes trace-level summary statistics.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.Failures = len(t.events)
+	if s.Failures < 2 {
+		return s
+	}
+	s.Span = t.events[len(t.events)-1].Time.Sub(t.events[0].Time)
+	s.ClusterMTBF = s.Span / units.Duration(s.Failures-1)
+	s.NodeMTBF = s.ClusterMTBF * units.Duration(t.nodes)
+	s.PerDay = float64(s.Failures) / (s.Span.Seconds() / units.Day.Seconds())
+	for _, idx := range t.perNode {
+		if len(idx) > s.MaxPerNode {
+			s.MaxPerNode = len(idx)
+		}
+	}
+	return s
+}

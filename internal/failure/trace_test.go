@@ -1,0 +1,244 @@
+package failure
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"probqos/internal/units"
+)
+
+func mustTrace(t *testing.T, nodes int, events []Event) *Trace {
+	t.Helper()
+	tr, err := NewTrace(nodes, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		nodes   int
+		events  []Event
+		wantErr bool
+	}{
+		{name: "ok", nodes: 4, events: []Event{{Time: 1, Node: 0, Detectability: 0.5}}},
+		{name: "zero nodes", nodes: 0, wantErr: true},
+		{name: "node out of range", nodes: 4, events: []Event{{Node: 4}}, wantErr: true},
+		{name: "negative node", nodes: 4, events: []Event{{Node: -1}}, wantErr: true},
+		{name: "bad detectability", nodes: 4, events: []Event{{Node: 0, Detectability: 1.5}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTrace(tt.nodes, tt.events)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewTrace error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceSortsEvents(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{
+		{Time: 300, Node: 1}, {Time: 100, Node: 2}, {Time: 200, Node: 3},
+	})
+	events := tr.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("events not sorted")
+		}
+	}
+	if tr.At(0).Node != 2 {
+		t.Errorf("At(0) = %+v", tr.At(0))
+	}
+}
+
+func TestNextOnNode(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{
+		{Time: 100, Node: 1}, {Time: 200, Node: 1}, {Time: 150, Node: 2},
+	})
+	tests := []struct {
+		name   string
+		node   int
+		from   units.Time
+		want   units.Time
+		wantOK bool
+	}{
+		{name: "first", node: 1, from: 0, want: 100, wantOK: true},
+		{name: "inclusive", node: 1, from: 100, want: 100, wantOK: true},
+		{name: "second", node: 1, from: 101, want: 200, wantOK: true},
+		{name: "past end", node: 1, from: 201, wantOK: false},
+		{name: "never fails", node: 3, from: 0, wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, ok := tr.NextOnNode(tt.node, tt.from)
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && e.Time != tt.want {
+				t.Errorf("time = %v, want %v", e.Time, tt.want)
+			}
+		})
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := mustTrace(t, 8, []Event{
+		{Time: 100, Node: 1}, {Time: 200, Node: 2}, {Time: 300, Node: 3},
+		{Time: 400, Node: 1}, {Time: 250, Node: 5},
+	})
+	got := tr.Window([]int{1, 2}, 100, 400)
+	if len(got) != 2 {
+		t.Fatalf("window returned %d events: %+v", len(got), got)
+	}
+	if got[0].Time != 100 || got[1].Time != 200 {
+		t.Errorf("window events = %+v", got)
+	}
+	// to is exclusive, from inclusive
+	if got := tr.Window([]int{1}, 101, 400); len(got) != 0 {
+		t.Errorf("exclusive window returned %+v", got)
+	}
+	if got := tr.Window([]int{1}, 101, 401); len(got) != 1 {
+		t.Errorf("window should include t=400: %+v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{
+		{Time: 1, Node: 0}, {Time: 2, Node: 1}, {Time: 3, Node: 2},
+	})
+	seen := 0
+	tr.Scan([]int{0, 1, 2}, 0, 10, func(Event) bool {
+		seen++
+		return seen < 2
+	})
+	if seen != 2 {
+		t.Errorf("scan visited %d events after early stop, want 2", seen)
+	}
+}
+
+func TestScanMergesInTimeOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const nodes = 8
+		events := make([]Event, 0, len(raw))
+		for i, r := range raw {
+			events = append(events, Event{
+				Time: units.Time(r % 1000), Node: i % nodes, Detectability: 0.5,
+			})
+		}
+		tr, err := NewTrace(nodes, events)
+		if err != nil {
+			return false
+		}
+		var got []Event
+		tr.Scan([]int{0, 1, 2, 3, 4, 5, 6, 7}, 0, 1000, func(e Event) bool {
+			got = append(got, e)
+			return true
+		})
+		if len(got) != len(events) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Time < got[j].Time })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig, err := GenerateTrace(RawConfig{Episodes: 100, Seed: 3}, FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCSV(128, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != orig.Len() {
+		t.Fatalf("round trip changed length: %d -> %d", orig.Len(), parsed.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.At(i), parsed.At(i)
+		if a.Time != b.Time || a.Node != b.Node {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+		if diff := a.Detectability - b.Detectability; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("event %d detectability differs: %v vs %v", i, a.Detectability, b.Detectability)
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "wrong fields", give: "1,2\n"},
+		{name: "bad time", give: "x,2,0.5\n"},
+		{name: "bad node", give: "1,x,0.5\n"},
+		{name: "bad detectability", give: "1,2,x\n"},
+		{name: "node out of range", give: "1,500,0.5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCSV(128, strings.NewReader(tt.give)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestNodeEvents(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{
+		{Time: 300, Node: 1}, {Time: 100, Node: 1}, {Time: 200, Node: 2},
+	})
+	got := tr.NodeEvents(1)
+	if len(got) != 2 || got[0].Time != 100 || got[1].Time != 300 {
+		t.Errorf("NodeEvents(1) = %+v", got)
+	}
+	if got := tr.NodeEvents(3); len(got) != 0 {
+		t.Errorf("NodeEvents(3) = %+v, want empty", got)
+	}
+}
+
+func TestStatsSmallTraces(t *testing.T) {
+	tr := mustTrace(t, 4, []Event{{Time: 5, Node: 0}})
+	if s := tr.Stats(); s.Failures != 1 || s.ClusterMTBF != 0 {
+		t.Errorf("single-event stats = %+v", s)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Fatal.String() != "FATAL" || Severity(99).String() != "Severity(99)" {
+		t.Error("severity names wrong")
+	}
+}
+
+func TestParseCSVNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr, err := ParseCSV(128, bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		// Anything accepted must be a valid trace.
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
+			if e.Node < 0 || e.Node >= 128 || e.Detectability < 0 || e.Detectability > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package health
+
+import (
+	"math"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/predict"
+	"probqos/internal/units"
+)
+
+func generateScenario(t *testing.T) ([]failure.RawEvent, *failure.Trace, *Telemetry) {
+	t.Helper()
+	rawCfg := failure.RawConfig{Nodes: 32, Span: 60 * units.Day, Episodes: 120, Seed: 3}
+	raw := failure.GenerateRawLog(rawCfg)
+	trace, err := failure.Filter(raw, 32, failure.FilterConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	telemetry, err := Generate(TelemetryConfig{Nodes: 32, Span: 60 * units.Day, Seed: 3}, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, trace, telemetry
+}
+
+func TestGenerateTelemetryShape(t *testing.T) {
+	_, _, telemetry := generateScenario(t)
+	if telemetry.Nodes() != 32 {
+		t.Fatalf("nodes = %d", telemetry.Nodes())
+	}
+	window := telemetry.Window(0, 0, units.Time(units.Day))
+	if len(window) != int(units.Day/(10*units.Minute)) {
+		t.Fatalf("one day of samples = %d", len(window))
+	}
+	for i, s := range window {
+		if s.Temperature < 20 || s.Temperature > 80 {
+			t.Fatalf("sample %d temperature %v out of physical range", i, s.Temperature)
+		}
+		if s.Load < 0 || s.Load > 1 {
+			t.Fatalf("sample %d load %v out of range", i, s.Load)
+		}
+		if i > 0 && s.Time <= window[i-1].Time {
+			t.Fatal("samples not strictly increasing in time")
+		}
+	}
+}
+
+func TestTemperatureRampPrecedesFailures(t *testing.T) {
+	raw, trace, telemetry := generateScenario(t)
+	_ = raw
+	if trace.Len() == 0 {
+		t.Fatal("no failures to check")
+	}
+	var rampSlopes, quietSlopes []float64
+	for i := 0; i < trace.Len(); i++ {
+		e := trace.At(i)
+		if slope, ok := telemetry.Slope(e.Node, e.Time.Add(-2*units.Hour), e.Time); ok {
+			rampSlopes = append(rampSlopes, slope)
+		}
+		quietAt := e.Time.Add(-2 * units.Day)
+		if quietAt > 0 {
+			if slope, ok := telemetry.Slope(e.Node, quietAt.Add(-2*units.Hour), quietAt); ok {
+				quietSlopes = append(quietSlopes, slope)
+			}
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if len(rampSlopes) == 0 || len(quietSlopes) == 0 {
+		t.Fatal("not enough slope samples")
+	}
+	if mean(rampSlopes) < mean(quietSlopes)+1 {
+		t.Errorf("pre-failure slope %.2f should clearly exceed quiet slope %.2f",
+			mean(rampSlopes), mean(quietSlopes))
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	_, _, telemetry := generateScenario(t)
+	if _, ok := telemetry.Slope(0, 0, 60); ok {
+		t.Error("slope over <3 samples should be unavailable")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, nil, MonitorConfig{}); err == nil {
+		t.Error("nil telemetry accepted")
+	}
+	if _, err := Generate(TelemetryConfig{Interval: -1}, nil); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestMonitorDetectsImminentFailures(t *testing.T) {
+	raw, trace, telemetry := generateScenario(t)
+	m, err := NewMonitor(telemetry, raw, MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := predict.Run(m, trace, 2*units.Hour)
+	t.Logf("monitor audit: detection %.2f, FP rate %.4f, mean confidence %.2f",
+		audit.DetectionRate(), audit.FalsePositiveRate(), audit.MeanConfidence)
+	// Sahoo et al. report ~70% detection for the real algorithms; the
+	// synthetic monitor should land in a believable band, not at the
+	// oracle's extremes.
+	if audit.DetectionRate() < 0.4 || audit.DetectionRate() > 0.999 {
+		t.Errorf("detection rate = %.2f, want a realistic mid-to-high band", audit.DetectionRate())
+	}
+	// A real monitor produces SOME false positives (unlike the idealized
+	// predictor) but must not fire everywhere.
+	if audit.FalsePositiveRate() > 0.10 {
+		t.Errorf("false positive rate = %.4f, too noisy", audit.FalsePositiveRate())
+	}
+}
+
+func TestMonitorHorizonDecay(t *testing.T) {
+	raw, trace, telemetry := generateScenario(t)
+	m, err := NewMonitor(telemetry, raw, MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.At(trace.Len() / 2)
+	from := e.Time.Add(-30 * units.Minute)
+	near := m.PFail([]int{e.Node}, from, from.Add(2*units.Hour))
+	far := m.PFail([]int{e.Node}, from, from.Add(3*units.Day))
+	if near <= 0 {
+		t.Skip("this failure had no precursor signal; acceptable for a real monitor")
+	}
+	if far >= near {
+		t.Errorf("risk should decay with window width: near %.3f, far %.3f", near, far)
+	}
+	if got := m.PFail([]int{e.Node}, from, from); got != 0 {
+		t.Errorf("empty window risk = %v", got)
+	}
+}
+
+func TestMonitorRisksAreProbabilities(t *testing.T) {
+	raw, _, telemetry := generateScenario(t)
+	m, err := NewMonitor(telemetry, raw, MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for w := 0; w < 200; w++ {
+		from := units.Time(w) * units.Time(6*units.Hour)
+		pf := m.PFail(nodes, from, from.Add(4*units.Hour))
+		if pf < 0 || pf > 1 || math.IsNaN(pf) {
+			t.Fatalf("window %d: pf = %v", w, pf)
+		}
+	}
+}

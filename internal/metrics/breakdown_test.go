@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/sim"
+	"probqos/internal/workload"
+)
+
+func TestByClassesAssignsAndAggregates(t *testing.T) {
+	res := &sim.Result{
+		ClusterNodes: 128,
+		Jobs: []sim.JobRecord{
+			{ID: 1, Nodes: 2, Exec: 100, Promised: 1, MetDeadline: true, Arrival: 0, LastStart: 10},
+			{ID: 2, Nodes: 4, Exec: 100, Promised: 0.5, MetDeadline: false, FailuresSuffered: 1, LostWork: 300, Arrival: 0, LastStart: 30},
+			{ID: 3, Nodes: 100, Exec: 1000, Promised: 1, MetDeadline: true, Arrival: 0, LastStart: 0},
+		},
+		End: 2000,
+	}
+	classes := ByClasses(res, []ClassReport{
+		{Label: "small", MinNodes: 1, MaxNodes: 8},
+		{Label: "large", MinNodes: 65, MaxNodes: 1 << 30},
+	})
+	small, large := classes[0], classes[1]
+	if small.Jobs != 2 || large.Jobs != 1 {
+		t.Fatalf("population: %+v / %+v", small, large)
+	}
+	// Small class: work 200+400=600; met work contributes 200*1.
+	if math.Abs(small.QoS-200.0/600.0) > 1e-12 {
+		t.Errorf("small QoS = %v", small.QoS)
+	}
+	if small.MissRate != 0.5 || small.FailureRate != 0.5 {
+		t.Errorf("small rates = %+v", small)
+	}
+	if small.LostWork != 300 {
+		t.Errorf("small lost = %v", small.LostWork)
+	}
+	if small.MeanWaitSeconds != 20 {
+		t.Errorf("small wait = %v", small.MeanWaitSeconds)
+	}
+	if large.QoS != 1 || large.MissRate != 0 {
+		t.Errorf("large = %+v", large)
+	}
+	// Work shares: small 600, large 100000 of 100600 total.
+	if math.Abs(small.WorkShare+large.WorkShare-1) > 1e-12 {
+		t.Errorf("shares = %v + %v", small.WorkShare, large.WorkShare)
+	}
+}
+
+func TestByClassesEmptyAndUnmatched(t *testing.T) {
+	if got := BySize(nil); len(got) != len(DefaultClasses()) {
+		t.Errorf("nil result classes = %d", len(got))
+	}
+	res := &sim.Result{Jobs: []sim.JobRecord{{ID: 1, Nodes: 500, Exec: 10}}}
+	classes := ByClasses(res, []ClassReport{{Label: "tiny", MinNodes: 1, MaxNodes: 2}})
+	if classes[0].Jobs != 0 {
+		t.Errorf("unmatched job counted: %+v", classes[0])
+	}
+}
+
+func TestBySizeEndToEndLargeJobsCarryTheRisk(t *testing.T) {
+	log := workload.GenerateSDSC(workload.GenConfig{Jobs: 2000, Seed: 31})
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 31}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(log, tr)
+	cfg.Accuracy = 0.3
+	cfg.UserRisk = 0.5
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := BySize(res)
+	var narrow, wide *ClassReport
+	for i := range classes {
+		switch classes[i].Label {
+		case "1-4 nodes":
+			narrow = &classes[i]
+		case "65+ nodes":
+			wide = &classes[i]
+		}
+	}
+	if narrow == nil || wide == nil || narrow.Jobs == 0 || wide.Jobs == 0 {
+		t.Fatalf("classes unpopulated: %+v", classes)
+	}
+	t.Logf("narrow: %+v", *narrow)
+	t.Logf("wide:   %+v", *wide)
+	// Exposure scales with nodes x time: wide jobs must fail more often.
+	if wide.FailureRate <= narrow.FailureRate {
+		t.Errorf("wide failure rate %.3f should exceed narrow %.3f",
+			wide.FailureRate, narrow.FailureRate)
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/sim"
+	"probqos/internal/workload"
+)
+
+func TestCalibrationBinning(t *testing.T) {
+	res := &sim.Result{
+		ClusterNodes: 4,
+		Jobs: []sim.JobRecord{
+			{ID: 1, Nodes: 1, Exec: 100, Promised: 0.05, MetDeadline: false},
+			{ID: 2, Nodes: 1, Exec: 100, Promised: 0.05, MetDeadline: true},
+			{ID: 3, Nodes: 1, Exec: 100, Promised: 0.95, MetDeadline: true},
+			{ID: 4, Nodes: 1, Exec: 100, Promised: 1.0, MetDeadline: true}, // closed top bin
+		},
+		End: 100,
+	}
+	bins := Calibration(res, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	lo := bins[0]
+	if lo.Jobs != 2 || lo.Observed != 0.5 || math.Abs(lo.PromisedMean-0.05) > 1e-12 {
+		t.Errorf("low bin = %+v", lo)
+	}
+	hi := bins[9]
+	if hi.Jobs != 2 || hi.Observed != 1 {
+		t.Errorf("high bin = %+v", hi)
+	}
+	var workShare float64
+	for _, b := range bins {
+		workShare += b.WorkShare
+	}
+	if math.Abs(workShare-1) > 1e-9 {
+		t.Errorf("work shares sum to %v", workShare)
+	}
+}
+
+func TestCalibrationDegenerate(t *testing.T) {
+	if got := Calibration(nil, 0); len(got) != 1 {
+		t.Errorf("nil result bins = %d", len(got))
+	}
+	bins := Calibration(&sim.Result{}, 5)
+	for _, b := range bins {
+		if b.Jobs != 0 || b.Observed != 0 {
+			t.Errorf("empty result bin = %+v", b)
+		}
+	}
+}
+
+func TestOverconfidence(t *testing.T) {
+	bins := []CalibrationBin{
+		{Jobs: 10, PromisedMean: 0.9, Observed: 0.95}, // over-delivered
+		{Jobs: 10, PromisedMean: 0.8, Observed: 0.6},  // short by 0.2
+		{Jobs: 0, PromisedMean: 1, Observed: 0},       // empty: ignored
+	}
+	if got := Overconfidence(bins); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Overconfidence = %v, want 0.2", got)
+	}
+	if got := Overconfidence(nil); got != 0 {
+		t.Errorf("Overconfidence(nil) = %v", got)
+	}
+}
+
+func TestSystemPromisesAreMostlyHonestEndToEnd(t *testing.T) {
+	// Run a real simulation and check the reliability diagram: the system
+	// should not be badly overconfident in any promise range.
+	log := workload.GenerateSDSC(workload.GenConfig{Jobs: 1500, Seed: 21})
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 21}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(log, tr)
+	cfg.Accuracy = 0.8
+	cfg.UserRisk = 0.5
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := Calibration(res, 5)
+	for _, b := range bins {
+		if b.Jobs > 0 {
+			t.Logf("promise [%.1f,%.1f): %d jobs, promised %.3f, observed %.3f",
+				b.Lo, b.Hi, b.Jobs, b.PromisedMean, b.Observed)
+		}
+	}
+	// The deterministic predictor makes doomed-window promises possible
+	// (a detectable failure *will* happen), so allow some slack, but the
+	// top bin — where almost all work lives — must be close to honest.
+	top := bins[len(bins)-1]
+	if top.Jobs == 0 {
+		t.Fatal("no jobs in the top promise bin")
+	}
+	if top.PromisedMean-top.Observed > 0.12 {
+		t.Errorf("top-bin overconfidence %.3f too large (promised %.3f, observed %.3f)",
+			top.PromisedMean-top.Observed, top.PromisedMean, top.Observed)
+	}
+}

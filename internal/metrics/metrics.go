@@ -1,0 +1,110 @@
+// Package metrics computes the paper's evaluation metrics (§3.5) from a
+// simulation result: QoS (Equation 2), capacity utilized, and total lost
+// work, plus the usual scheduling diagnostics.
+package metrics
+
+import (
+	"math"
+
+	"probqos/internal/sim"
+	"probqos/internal/units"
+)
+
+// Report holds every metric computed for one simulation run.
+type Report struct {
+	// QoS is Equation 2: sum(e_j n_j q_j p_j) / sum(e_j n_j). It rewards
+	// the system for promising only what it delivers and delivering all it
+	// can; jobs that miss their deadline contribute nothing.
+	QoS float64
+	// Utilization is ω_util: sum(e_j n_j) / (T * N), with T the span from
+	// first arrival to last finish. Checkpoint overheads count as
+	// unnecessary work and are excluded, per §3.5.
+	Utilization float64
+	// LostWork is ω_lost: sum over failures of (t_x - c_jx) * n_jx.
+	LostWork units.Work
+	// JobFailures counts failures that killed a running job.
+	JobFailures int
+	// DeadlineMissRate is the fraction of jobs with q_j = 0.
+	DeadlineMissRate float64
+	// WorkMissRate is the work-weighted fraction of jobs with q_j = 0.
+	WorkMissRate float64
+	// MeanPromise is the average promised success probability p_j.
+	MeanPromise float64
+	// ObservedSuccess is the fraction of jobs that met their deadline; when
+	// the system is honest it should not fall below MeanPromise.
+	ObservedSuccess float64
+	// MeanWaitSeconds is the mean of (last start - arrival), the paper's
+	// "last start time" convention.
+	MeanWaitSeconds float64
+	// MeanBoundedSlowdown is the mean bounded slowdown with the usual 10 s
+	// threshold.
+	MeanBoundedSlowdown float64
+	// CheckpointsDone and CheckpointsSkipped count checkpoint decisions.
+	CheckpointsDone    int
+	CheckpointsSkipped int
+	// CheckpointOverhead is the total wall time spent in checkpoints.
+	CheckpointOverhead units.Duration
+	// OccupiedFraction is raw node occupancy over T*N: useful work plus
+	// checkpoint overhead plus work later lost to failures.
+	OccupiedFraction float64
+	// Span is T.
+	Span units.Duration
+}
+
+// Compute derives the report from a simulation result.
+func Compute(res *sim.Result) Report {
+	var r Report
+	if res == nil || len(res.Jobs) == 0 {
+		return r
+	}
+
+	var (
+		totalWork  float64 // sum e_j n_j
+		qosNum     float64 // sum e_j n_j q_j p_j
+		missedWork float64
+		missed     int
+		promiseSum float64
+		waitSum    float64
+		slowSum    float64
+	)
+	const slowdownFloor = 10.0
+	for _, j := range res.Jobs {
+		w := j.Exec.Seconds() * float64(j.Nodes)
+		totalWork += w
+		promiseSum += j.Promised
+		if j.MetDeadline {
+			qosNum += w * j.Promised
+		} else {
+			missed++
+			missedWork += w
+		}
+		wait := j.LastStart.Sub(j.Arrival).Seconds()
+		waitSum += wait
+		run := j.Finish.Sub(j.LastStart).Seconds()
+		slow := (wait + run) / math.Max(j.Exec.Seconds(), slowdownFloor)
+		slowSum += math.Max(slow, 1)
+
+		r.CheckpointsDone += j.CheckpointsDone
+		r.CheckpointsSkipped += j.CheckpointsSkipped
+		r.CheckpointOverhead += j.CheckpointOverheads
+	}
+
+	n := float64(len(res.Jobs))
+	r.Span = res.Span()
+	if totalWork > 0 {
+		r.QoS = qosNum / totalWork
+		r.WorkMissRate = missedWork / totalWork
+	}
+	if r.Span > 0 && res.ClusterNodes > 0 {
+		r.Utilization = totalWork / (r.Span.Seconds() * float64(res.ClusterNodes))
+	}
+	r.LostWork = res.TotalLostWork()
+	r.JobFailures = res.JobFailures()
+	r.OccupiedFraction = res.OccupiedFraction()
+	r.DeadlineMissRate = float64(missed) / n
+	r.ObservedSuccess = 1 - r.DeadlineMissRate
+	r.MeanPromise = promiseSum / n
+	r.MeanWaitSeconds = waitSum / n
+	r.MeanBoundedSlowdown = slowSum / n
+	return r
+}

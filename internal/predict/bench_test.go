@@ -1,0 +1,64 @@
+package predict
+
+import (
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+)
+
+func benchTrace(b *testing.B) *failure.Trace {
+	b.Helper()
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 1}, failure.FilterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTracePFail measures the hot predictor query the scheduler makes
+// for every candidate node set.
+func BenchmarkTracePFail(b *testing.B) {
+	tr := benchTrace(b)
+	p, err := NewTrace(tr, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int, 16)
+	for i := range nodes {
+		nodes[i] = i * 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := units.Time(i%1000) * 3600
+		p.PFail(nodes, from, from.Add(6*units.Hour))
+	}
+}
+
+// BenchmarkTracePFailSingleNode measures the per-node scoring query used
+// by fault-aware node selection.
+func BenchmarkTracePFailSingleNode(b *testing.B) {
+	tr := benchTrace(b)
+	p, err := NewTrace(tr, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := units.Time(i%1000) * 3600
+		p.PFail([]int{i % 128}, from, from.Add(6*units.Hour))
+	}
+}
+
+// BenchmarkBaseRatePFail measures the MTBF-hazard floor computation.
+func BenchmarkBaseRatePFail(b *testing.B) {
+	p, err := NewBaseRate(45 * units.Day)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PFail(nodes, 0, units.Time(2*units.Hour))
+	}
+}

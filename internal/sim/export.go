@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJobsCSV writes one CSV row per completed job, for external analysis
+// of a run (cmd/qossim -perjob).
+func (r *Result) WriteJobsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "id,nodes,exec_s,arrival,first_start,last_start,finish,"+
+		"deadline,promised,met_deadline,quotes,attempts,failures,ckpts_done,ckpts_skipped,"+
+		"deadline_skips,start_slips,lost_node_s,ckpt_overhead_s"); err != nil {
+		return fmt.Errorf("sim: write jobs csv: %w", err)
+	}
+	for _, j := range r.Jobs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%s,%t,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			j.ID, j.Nodes, int64(j.Exec),
+			int64(j.Arrival), int64(j.FirstStart), int64(j.LastStart), int64(j.Finish),
+			int64(j.Deadline), strconv.FormatFloat(j.Promised, 'f', 6, 64), j.MetDeadline,
+			j.Quotes, j.Attempts, j.FailuresSuffered,
+			j.CheckpointsDone, j.CheckpointsSkipped, j.DeadlineSkips, j.StartSlips,
+			int64(j.LostWork), int64(j.CheckpointOverheads)); err != nil {
+			return fmt.Errorf("sim: write jobs csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sim: write jobs csv: %w", err)
+	}
+	return nil
+}
+
+// WriteFailuresCSV writes one CSV row per processed failure.
+func (r *Result) WriteFailuresCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,node,job,lost_node_s"); err != nil {
+		return fmt.Errorf("sim: write failures csv: %w", err)
+	}
+	for _, f := range r.Failures {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d\n",
+			int64(f.Time), f.Node, f.JobID, int64(f.LostWork)); err != nil {
+			return fmt.Errorf("sim: write failures csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sim: write failures csv: %w", err)
+	}
+	return nil
+}

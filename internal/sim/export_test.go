@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/workload"
+)
+
+func TestWriteJobsCSV(t *testing.T) {
+	events := []failure.Event{{Time: 5000, Node: 0, Detectability: 0.9}}
+	cfg := smallConfig(t, []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 8, Exec: 9000},
+		{ID: 2, Arrival: 10, Nodes: 2, Exec: 100},
+	}, events)
+	cfg.Accuracy = 0
+	res := run(t, cfg)
+
+	var sb strings.Builder
+	if err := res.WriteJobsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 jobs:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "id,nodes,exec_s,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,8,9000,") {
+		t.Errorf("job row = %q", lines[1])
+	}
+	// Every row has the full column count.
+	want := len(strings.Split(lines[0], ","))
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != want {
+			t.Errorf("row %q has %d fields, want %d", line, got, want)
+		}
+	}
+}
+
+func TestWriteFailuresCSV(t *testing.T) {
+	events := []failure.Event{
+		{Time: 5000, Node: 0, Detectability: 0.9},
+		{Time: 99999, Node: 7, Detectability: 0.1},
+	}
+	cfg := smallConfig(t, []workload.Job{{ID: 1, Arrival: 0, Nodes: 8, Exec: 9000}}, events)
+	cfg.Accuracy = 0
+	res := run(t, cfg)
+
+	var sb strings.Builder
+	if err := res.WriteFailuresCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 failures:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "time,node,job,lost_node_s" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "5000,0,1,") {
+		t.Errorf("failure row = %q", lines[1])
+	}
+	if lines[2] != "99999,7,0,0" {
+		t.Errorf("idle-node failure row = %q", lines[2])
+	}
+}

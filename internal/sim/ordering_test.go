@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// The simulator's tie-breaking rules at equal timestamps are semantic
+// decisions; these tests pin them.
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	heap.Init(&q)
+	push := func(tm units.Time, k Kind, seq int64) {
+		heap.Push(&q, &event{time: tm, kind: k, seq: seq})
+	}
+	// Same timestamp, shuffled kinds.
+	push(100, KindStart, 1)
+	push(100, KindFailure, 2)
+	push(100, KindArrival, 3)
+	push(100, KindFinish, 4)
+	push(100, KindRecovery, 5)
+	push(50, KindCheckpointRequest, 6)
+	push(100, KindCheckpointFinish, 7)
+
+	var got []Kind
+	for q.Len() > 0 {
+		got = append(got, heap.Pop(&q).(*event).kind)
+	}
+	want := []Kind{
+		KindCheckpointRequest, // earlier time wins regardless of kind
+		KindFailure, KindRecovery, KindFinish, KindCheckpointFinish,
+		KindArrival, KindStart,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestEventQueueSeqBreaksTies(t *testing.T) {
+	var q eventQueue
+	heap.Init(&q)
+	heap.Push(&q, &event{time: 10, kind: KindArrival, seq: 2, jobID: 2})
+	heap.Push(&q, &event{time: 10, kind: KindArrival, seq: 1, jobID: 1})
+	first := heap.Pop(&q).(*event)
+	if first.jobID != 1 {
+		t.Errorf("insertion order not respected: job %d first", first.jobID)
+	}
+}
+
+func TestFailureAtFinishInstantKillsJob(t *testing.T) {
+	// Failure and finish at the same timestamp: failures are processed
+	// first (the conservative reading of "nodes may fail at any time").
+	events := []failure.Event{{Time: 500, Node: 0, Detectability: 0.9}}
+	cfg := smallConfig(t, []workload.Job{{ID: 1, Arrival: 0, Nodes: 8, Exec: 500}}, events)
+	cfg.Accuracy = 0 // invisible
+	res := run(t, cfg)
+	j := res.Jobs[0]
+	if j.FailuresSuffered != 1 {
+		t.Fatalf("boundary failure did not kill the job: %+v", j)
+	}
+	// The job reruns completely: 500 lost + 120 downtime + 500 redo.
+	if j.Finish != 1120 {
+		t.Errorf("finish = %v, want 1120", j.Finish)
+	}
+}
+
+func TestArrivalSeesFinishAtSameInstant(t *testing.T) {
+	// Job 2 arrives exactly when job 1 finishes: finish is processed first,
+	// so job 2's quote can start immediately.
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 8, Exec: 1000},
+		{ID: 2, Arrival: 1000, Nodes: 8, Exec: 100},
+	}
+	cfg := smallConfig(t, jobs, nil)
+	res := run(t, cfg)
+	for _, j := range res.Jobs {
+		if j.ID == 2 && j.FirstStart != 1000 {
+			t.Errorf("job 2 start = %v, want 1000 (immediately after job 1)", j.FirstStart)
+		}
+	}
+}
+
+func TestRecoveryBeforeStartAtSameInstant(t *testing.T) {
+	// A node fails at t=880 (down until 1000). A full-machine job is
+	// reserved from t=1000. Recovery sorts before Start at t=1000 and IsUp
+	// is inclusive, so the job starts exactly on time.
+	events := []failure.Event{{Time: 880, Node: 3, Detectability: 0.99}}
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 8, Exec: 1000},
+		{ID: 2, Arrival: 10, Nodes: 8, Exec: 500},
+	}
+	cfg := smallConfig(t, jobs, events)
+	cfg.Accuracy = 0.5
+	res := run(t, cfg)
+	var j2 JobRecord
+	for _, j := range res.Jobs {
+		if j.ID == 2 {
+			j2 = j
+		}
+	}
+	// Job 1 dies at 880 and restarts elsewhere... it needs all 8 nodes, so
+	// it restarts at 1000 after downtime, pushing job 2. What matters here:
+	// nothing deadlocks and the slip accounting stays consistent.
+	if j2.Finish < j2.LastStart {
+		t.Fatalf("job 2 timeline broken: %+v", j2)
+	}
+}
+
+func TestSimultaneousArrivalsProcessedInIDOrder(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 100, Nodes: 8, Exec: 1000},
+		{ID: 2, Arrival: 100, Nodes: 8, Exec: 1000},
+		{ID: 3, Arrival: 100, Nodes: 8, Exec: 1000},
+	}
+	cfg := smallConfig(t, jobs, nil)
+	res := run(t, cfg)
+	byID := make(map[int]JobRecord)
+	for _, j := range res.Jobs {
+		byID[j.ID] = j
+	}
+	// FCFS among simultaneous arrivals falls back to submission (ID) order.
+	if !(byID[1].FirstStart < byID[2].FirstStart && byID[2].FirstStart < byID[3].FirstStart) {
+		t.Errorf("simultaneous arrivals out of order: %v / %v / %v",
+			byID[1].FirstStart, byID[2].FirstStart, byID[3].FirstStart)
+	}
+}
+
+func TestCheckpointFinishExactlyAtFailureInstant(t *testing.T) {
+	// Checkpoint completes at the same instant a failure hits: the
+	// checkpoint-finish is processed after the failure (Failure < Finish <
+	// CheckpointFinish in kind order), so the checkpoint is lost and the
+	// rollback reference stays at the attempt start.
+	// Timeline: request at 3600, checkpoint [3600, 4320); failure at 4320.
+	events := []failure.Event{{Time: 4320, Node: 0, Detectability: 0.9}}
+	cfg := smallConfig(t, []workload.Job{{ID: 1, Arrival: 0, Nodes: 8, Exec: 9000}}, events)
+	cfg.Accuracy = 0
+	cfg.Policy = checkpoint.Periodic{}
+	res := run(t, cfg)
+	j := res.Jobs[0]
+	if j.FailuresSuffered != 1 {
+		t.Fatalf("expected the boundary failure to kill the job: %+v", j)
+	}
+	// Lost work measured from attempt start (checkpoint did not complete):
+	// 4320 s on 8 nodes.
+	if want := units.WorkFor(8, 4320); j.LostWork != want {
+		t.Errorf("lost work = %v, want %v (checkpoint must not count)", j.LostWork, want)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"probqos/internal/failure"
+	"probqos/internal/workload"
+)
+
+func TestFullScaleProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	for _, name := range []string{"NASA", "SDSC"} {
+		log, err := workload.Generate(name, workload.GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := failure.GenerateTrace(failure.RawConfig{}, failure.FilterConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []struct{ a, u float64 }{{0, 0.5}, {0.5, 0.5}, {1, 0.9}, {1, 0.1}} {
+			cfg := DefaultConfig(log, tr)
+			cfg.Accuracy = p.a
+			cfg.UserRisk = p.u
+			start := time.Now()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s a=%v u=%v: %v", name, p.a, p.u, err)
+			}
+			var qosNum, work, missWork float64
+			var missJobs, missWithFail, missNoFail int
+			var missBySec, missByWorkSec float64
+			for _, j := range res.Jobs {
+				w := j.Exec.Seconds() * float64(j.Nodes)
+				work += w
+				if j.MetDeadline {
+					qosNum += w * j.Promised
+				} else {
+					missWork += w
+					missJobs++
+					if j.FailuresSuffered > 0 {
+						missWithFail++
+					} else {
+						missNoFail++
+					}
+					missAmt := j.Finish.Sub(j.Deadline).Seconds()
+					missBySec += missAmt
+					missByWorkSec += missAmt * w
+				}
+			}
+			util := work / (res.Span().Seconds() * 128)
+			t.Logf("%s a=%.1f U=%.1f: %v qos=%.4f util=%.4f lost=%.3g jobfail=%d span=%.1fd",
+				name, p.a, p.u, time.Since(start).Round(time.Millisecond), qosNum/work, util,
+				res.TotalLostWork().NodeSeconds(), res.JobFailures(), res.Span().Hours()/24)
+			if missJobs > 0 {
+				t.Logf("   missed: %d jobs (%.1f%% of work), withFail=%d noFail=%d, avgMissBy=%.1fh workWeightedMissBy=%.1fh",
+					missJobs, 100*missWork/work, missWithFail, missNoFail,
+					missBySec/float64(missJobs)/3600, missByWorkSec/missWork/3600)
+			}
+		}
+	}
+}

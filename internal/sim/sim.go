@@ -1,0 +1,525 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strconv"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/cluster"
+	"probqos/internal/failure"
+	"probqos/internal/negotiate"
+	"probqos/internal/predict"
+	"probqos/internal/sched"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// forecaster is the predictor capability set the simulator wires together:
+// risk estimates plus failure location for the negotiator.
+type forecaster interface {
+	predict.Predictor
+	FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool)
+}
+
+// jobState tracks one job through negotiation, (re)scheduling, execution,
+// checkpointing, and failures.
+type jobState struct {
+	job   workload.Job
+	rec   JobRecord
+	epoch int
+
+	deadline units.Time
+	promised float64
+
+	// doneWork is the checkpointed execution baseline carried across
+	// attempts: a restart resumes from here.
+	doneWork units.Duration
+
+	// Fields below describe the current attempt and are reset on restart.
+	running      bool
+	nodes        []int
+	attemptStart units.Time
+	lastMark     units.Time     // when progress accounting last advanced
+	curProgress  units.Duration // execution progress within this attempt
+	skippedSince int            // requests skipped since the last performed checkpoint
+	inCheckpoint bool
+	ckptStarted  units.Time
+	hasCkpt      bool       // a checkpoint completed in this attempt
+	lastCkptAt   units.Time // start instant of that checkpoint (c_j reference)
+	completed    bool
+}
+
+// remaining returns the execution time still owed after the attempt's
+// current progress.
+func (js *jobState) remaining() units.Duration {
+	return js.job.Exec - js.doneWork - js.curProgress
+}
+
+// rollbackRef returns c_j: the instant the job's work would roll back to if
+// its partition failed now (§3.5 lost-work accounting).
+func (js *jobState) rollbackRef() units.Time {
+	if js.hasCkpt {
+		return js.lastCkptAt
+	}
+	return js.attemptStart
+}
+
+// simulator is the run-time state of one simulation.
+type simulator struct {
+	cfg       Config
+	cluster   *cluster.Cluster
+	scheduler *sched.Scheduler
+	// quotePred prices reservations; ckptPred prices checkpoint decisions
+	// (the same trace predictor, optionally floored by the MTBF hazard).
+	quotePred  predict.Predictor
+	ckptPred   predict.Predictor
+	negotiator *negotiate.Negotiator
+	user       negotiate.User
+
+	queue eventQueue
+	seq   int64
+	now   units.Time
+	jobs  map[int]*jobState
+	res   Result
+
+	// Occupancy integration: busy node count and the instant it last
+	// changed.
+	busyNodes  int
+	busyMarkAt units.Time
+	busyAccum  units.Work
+}
+
+// Run executes the configured simulation to completion and returns the
+// collected result. The run is deterministic: equal configs yield equal
+// results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		pred    predict.Predictor
+		locator interface {
+			FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool)
+		}
+	)
+	if cfg.Predictor != nil {
+		pred = cfg.Predictor
+		if l, ok := cfg.Predictor.(interface {
+			FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool)
+		}); ok {
+			locator = l
+		}
+	} else {
+		var (
+			tracePred forecaster
+			err       error
+		)
+		if cfg.PredictionHalfLife > 0 {
+			tracePred, err = predict.NewDecaying(cfg.Failures, cfg.Accuracy, cfg.PredictionHalfLife)
+		} else {
+			tracePred, err = predict.NewTrace(cfg.Failures, cfg.Accuracy)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pred = tracePred
+		locator = tracePred
+	}
+	s := &simulator{
+		cfg:       cfg,
+		cluster:   cluster.New(cfg.Nodes),
+		quotePred: pred,
+		ckptPred:  pred,
+		jobs:      make(map[int]*jobState, len(cfg.Workload.Jobs)),
+	}
+	if cfg.BaseRateFloor {
+		if base, err := predict.NewBaseRateFromTrace(cfg.Failures); err == nil {
+			if s.ckptPred, err = predict.NewMax(pred, base); err != nil {
+				return nil, err
+			}
+		}
+		// An empty or degenerate trace has no estimable MTBF; the forecast
+		// alone is then the best available hazard.
+	}
+	s.scheduler = sched.New(cfg.Nodes, s.quotePred,
+		sched.WithFaultAware(cfg.FaultAware),
+		sched.WithQuoteSlack(cfg.Downtime),
+	)
+	negOpts := []negotiate.Option{negotiate.WithFailureSlack(cfg.Downtime)}
+	if locator != nil {
+		negOpts = append(negOpts, negotiate.WithLocator(locator))
+	}
+	s.negotiator = negotiate.New(s.scheduler, negOpts...)
+	s.user = negotiate.User{U: cfg.UserRisk}
+	if !cfg.Negotiate {
+		s.user = negotiate.User{U: 0} // every first quote accepted
+	}
+
+	for _, j := range cfg.Workload.Jobs {
+		if _, dup := s.jobs[j.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
+		}
+		s.jobs[j.ID] = &jobState{job: j}
+		s.push(&event{time: j.Arrival, kind: KindArrival, jobID: j.ID})
+	}
+	for i := 0; i < cfg.Failures.Len(); i++ {
+		e := cfg.Failures.At(i)
+		s.push(&event{time: e.Time, kind: KindFailure, node: e.Node, index: i})
+	}
+
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.collect()
+}
+
+func (s *simulator) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+func (s *simulator) observe(kind Kind, jobID, node int, detail string) {
+	s.observeWidth(kind, jobID, node, 0, detail)
+}
+
+func (s *simulator) observeWidth(kind Kind, jobID, node, width int, detail string) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	s.cfg.Observer.Observe(Note{
+		Time: s.now, Kind: kind.String(), JobID: jobID, Node: node,
+		Width: width, Detail: detail,
+	})
+}
+
+func (s *simulator) loop() error {
+	heap.Init(&s.queue)
+	processed := 0
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.time < s.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v (%v)", s.now, ev.time, ev.kind)
+		}
+		s.now = ev.time
+		s.res.EventsProcessed++
+		processed++
+		if processed%4096 == 0 {
+			s.scheduler.GC(s.now)
+		}
+
+		var err error
+		switch ev.kind {
+		case KindArrival:
+			err = s.onArrival(ev)
+		case KindStart:
+			err = s.onStart(ev)
+		case KindCheckpointRequest:
+			err = s.onCheckpointRequest(ev)
+		case KindCheckpointFinish:
+			err = s.onCheckpointFinish(ev)
+		case KindFinish:
+			err = s.onFinish(ev)
+		case KindFailure:
+			err = s.onFailure(ev)
+		case KindRecovery:
+			s.observe(KindRecovery, 0, ev.node, "")
+		default:
+			err = fmt.Errorf("sim: unknown event kind %d", ev.kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stale reports whether a job event belongs to a superseded attempt.
+func (s *simulator) stale(ev *event) bool {
+	js, ok := s.jobs[ev.jobID]
+	if !ok || js.epoch != ev.epoch || js.completed {
+		s.res.StaleEventsDropped++
+		return true
+	}
+	return false
+}
+
+func (s *simulator) onArrival(ev *event) error {
+	js := s.jobs[ev.jobID]
+	duration := plannedDuration(js.job.PlanExec(), s.cfg.Checkpoint)
+	quote, offers, err := s.negotiator.Negotiate(s.now, js.job.Nodes, duration, s.user)
+	if err != nil {
+		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
+	}
+	if _, err := s.scheduler.Reserve(js.job.ID, quote.Candidate, duration); err != nil {
+		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
+	}
+	js.deadline = quote.Deadline
+	js.promised = quote.Success
+	js.rec.Quotes = offers
+	s.push(&event{time: quote.Candidate.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+	s.observe(KindArrival, js.job.ID, -1,
+		"deadline="+quote.Deadline.String()+" p="+strconv.FormatFloat(quote.Success, 'f', 3, 64))
+	return nil
+}
+
+func (s *simulator) onStart(ev *event) error {
+	if s.stale(ev) {
+		return nil
+	}
+	js := s.jobs[ev.jobID]
+	r, ok := s.scheduler.Reservation(js.job.ID)
+	if !ok {
+		return fmt.Errorf("sim: job %d has a start event but no reservation", js.job.ID)
+	}
+
+	// A node may be down (recent failure) or still running a slipped
+	// predecessor; in either case the start slips — there is no dynamic
+	// re-optimization of placements (§3.3).
+	retry := s.now
+	for _, n := range r.Nodes {
+		if up := s.cluster.UpAt(n, s.now); up > retry {
+			retry = up
+		}
+		if occ := s.cluster.Occupant(n); occ != cluster.NoJob {
+			if est := s.estimateFinish(s.jobs[occ]); est > retry {
+				retry = est
+			}
+		}
+	}
+	if retry > s.now {
+		if err := s.scheduler.Slip(js.job.ID, retry); err != nil {
+			return err
+		}
+		js.rec.StartSlips++
+		s.push(&event{time: retry, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+		s.observe(KindStart, js.job.ID, -1, "slip to "+retry.String())
+		return nil
+	}
+
+	if err := s.cluster.Occupy(r.Nodes, js.job.ID); err != nil {
+		return err
+	}
+	s.accountOccupancy(len(r.Nodes))
+	js.running = true
+	js.nodes = r.Nodes
+	js.attemptStart = s.now
+	js.lastMark = s.now
+	js.curProgress = 0
+	js.skippedSince = 0
+	js.inCheckpoint = false
+	js.hasCkpt = false
+	js.rec.Attempts++
+	if js.rec.Attempts == 1 {
+		js.rec.FirstStart = s.now
+	}
+	js.rec.LastStart = s.now
+	s.observeWidth(KindStart, js.job.ID, -1, len(js.nodes), "")
+	s.scheduleNextWork(js)
+	return nil
+}
+
+// estimateFinish returns a lower bound on a running job's completion
+// instant: the end of any in-flight checkpoint plus its remaining
+// execution. Start-slip retries use it; if the job performs further
+// checkpoints the retry simply re-estimates, each time strictly later.
+func (s *simulator) estimateFinish(js *jobState) units.Time {
+	base := s.now
+	if js.inCheckpoint {
+		base = js.ckptStarted.Add(s.cfg.Checkpoint.Overhead)
+	}
+	est := base.Add(js.remaining())
+	if !est.After(s.now) {
+		est = s.now.Add(1)
+	}
+	return est
+}
+
+// scheduleNextWork schedules the job's next progress milestone: its finish,
+// if no more checkpoint requests intervene, or the next checkpoint request
+// after a full interval of progress.
+func (s *simulator) scheduleNextWork(js *jobState) {
+	rem := js.remaining()
+	if rem <= s.cfg.Checkpoint.Interval {
+		s.push(&event{time: s.now.Add(rem), kind: KindFinish, jobID: js.job.ID, epoch: js.epoch})
+		return
+	}
+	s.push(&event{
+		time: s.now.Add(s.cfg.Checkpoint.Interval), kind: KindCheckpointRequest,
+		jobID: js.job.ID, epoch: js.epoch,
+	})
+}
+
+func (s *simulator) onCheckpointRequest(ev *event) error {
+	if s.stale(ev) {
+		return nil
+	}
+	js := s.jobs[ev.jobID]
+	js.curProgress += s.now.Sub(js.lastMark)
+	js.lastMark = s.now
+
+	p := s.cfg.Checkpoint
+	rem := js.remaining()
+	estSkip := s.now.Add(plannedDuration(rem, p))
+	estPerform := estSkip.Add(p.Overhead)
+	req := checkpoint.Request{
+		Now:                s.now,
+		PFail:              s.ckptPred.PFail(js.nodes, s.now, s.now.Add(p.Interval+p.Overhead)),
+		Params:             p,
+		AtRiskIntervals:    js.skippedSince + 1,
+		Deadline:           js.deadline,
+		EstFinishIfPerform: estPerform,
+		EstFinishIfSkip:    estSkip,
+	}
+	perform := s.cfg.Policy.ShouldCheckpoint(req)
+	if perform && s.cfg.DeadlineSkip && estPerform.After(js.deadline) && !estSkip.After(js.deadline) {
+		perform = false
+		js.rec.DeadlineSkips++
+	}
+	if perform {
+		js.inCheckpoint = true
+		js.ckptStarted = s.now
+		s.push(&event{time: s.now.Add(p.Overhead), kind: KindCheckpointFinish, jobID: js.job.ID, epoch: js.epoch})
+		s.observe(KindCheckpointRequest, js.job.ID, -1, "perform d="+strconv.Itoa(req.AtRiskIntervals))
+		return nil
+	}
+	js.rec.CheckpointsSkipped++
+	js.skippedSince++
+	s.observe(KindCheckpointRequest, js.job.ID, -1, "skip d="+strconv.Itoa(req.AtRiskIntervals))
+	s.scheduleNextWork(js)
+	return nil
+}
+
+func (s *simulator) onCheckpointFinish(ev *event) error {
+	if s.stale(ev) {
+		return nil
+	}
+	js := s.jobs[ev.jobID]
+	js.doneWork += js.curProgress
+	js.curProgress = 0
+	js.hasCkpt = true
+	js.lastCkptAt = js.ckptStarted
+	js.skippedSince = 0
+	js.inCheckpoint = false
+	js.lastMark = s.now
+	js.rec.CheckpointsDone++
+	js.rec.CheckpointOverheads += s.cfg.Checkpoint.Overhead
+	s.observe(KindCheckpointFinish, js.job.ID, -1, "")
+	s.scheduleNextWork(js)
+	return nil
+}
+
+func (s *simulator) onFinish(ev *event) error {
+	if s.stale(ev) {
+		return nil
+	}
+	js := s.jobs[ev.jobID]
+	js.curProgress += s.now.Sub(js.lastMark)
+	js.lastMark = s.now
+	if got := js.remaining(); got != 0 {
+		return fmt.Errorf("sim: job %d finished with %v work remaining", js.job.ID, got)
+	}
+	js.completed = true
+	js.running = false
+	js.rec.Finish = s.now
+	js.rec.MetDeadline = !s.now.After(js.deadline)
+	if err := s.cluster.Release(js.nodes, js.job.ID); err != nil {
+		return err
+	}
+	s.accountOccupancy(-len(js.nodes))
+	s.scheduler.CompleteEarly(js.job.ID, s.now)
+	s.observeWidth(KindFinish, js.job.ID, -1, len(js.nodes), "met="+strconv.FormatBool(js.rec.MetDeadline))
+	return nil
+}
+
+func (s *simulator) onFailure(ev *event) error {
+	node := ev.node
+	s.cluster.Fail(node, s.now, s.cfg.Downtime)
+	s.scheduler.AddDowntime(node, s.now, s.now.Add(s.cfg.Downtime))
+	s.push(&event{time: s.now.Add(s.cfg.Downtime), kind: KindRecovery, node: node})
+
+	frec := FailureRecord{Time: s.now, Node: node}
+	if occ := s.cluster.Occupant(node); occ != cluster.NoJob {
+		js := s.jobs[occ]
+		lost := units.WorkFor(js.job.Nodes, s.now.Sub(js.rollbackRef()))
+		frec.JobID = occ
+		frec.LostWork = lost
+		js.rec.LostWork += lost
+		js.rec.FailuresSuffered++
+		if err := s.cluster.Release(js.nodes, occ); err != nil {
+			return err
+		}
+		s.accountOccupancy(-len(js.nodes))
+		s.scheduler.Release(occ)
+		js.epoch++
+		js.running = false
+		js.inCheckpoint = false
+		js.curProgress = 0
+		if err := s.requeue(js); err != nil {
+			return err
+		}
+	}
+	s.res.Failures = append(s.res.Failures, frec)
+	width := 0
+	if frec.JobID != 0 {
+		width = s.jobs[frec.JobID].job.Nodes
+	}
+	s.observeWidth(KindFailure, frec.JobID, node, width, "lost="+strconv.FormatInt(int64(frec.LostWork), 10))
+	return nil
+}
+
+// requeue reschedules a failed job from its last completed checkpoint. The
+// original deadline and promise stand — there is no renegotiation — and
+// existing reservations are not disturbed ("jobs that have already been
+// scheduled for later execution retain their scheduled partition"): the
+// restarted job takes the earliest slot the profile offers, which is
+// usually the tail of its own just-vacated reservation plus any backfill
+// hole it fits.
+func (s *simulator) requeue(js *jobState) error {
+	duration := plannedDuration(js.job.PlanExec()-js.doneWork, s.cfg.Checkpoint)
+	c, ok := s.scheduler.EarliestCandidate(s.now, js.job.Nodes, duration)
+	if !ok {
+		return fmt.Errorf("sim: job %d cannot be rescheduled after failure", js.job.ID)
+	}
+	if _, err := s.scheduler.Reserve(js.job.ID, c, duration); err != nil {
+		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
+	}
+	s.push(&event{time: c.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+	return nil
+}
+
+// accountOccupancy integrates busy node-seconds up to now, then applies a
+// change in the number of occupied nodes.
+func (s *simulator) accountOccupancy(delta int) {
+	s.busyAccum += units.WorkFor(s.busyNodes, s.now.Sub(s.busyMarkAt))
+	s.busyNodes += delta
+	s.busyMarkAt = s.now
+}
+
+func (s *simulator) collect() (*Result, error) {
+	s.accountOccupancy(0) // flush the final busy stretch
+	s.res.BusyNodeSeconds = s.busyAccum
+	s.res.ClusterNodes = s.cfg.Nodes
+	s.res.Jobs = make([]JobRecord, 0, len(s.jobs))
+	for _, j := range s.cfg.Workload.Jobs {
+		js := s.jobs[j.ID]
+		if !js.completed {
+			return nil, fmt.Errorf("sim: job %d never completed", j.ID)
+		}
+		js.rec.ID = j.ID
+		js.rec.Nodes = j.Nodes
+		js.rec.Exec = j.Exec
+		js.rec.Arrival = j.Arrival
+		js.rec.Deadline = js.deadline
+		js.rec.Promised = js.promised
+		s.res.Jobs = append(s.res.Jobs, js.rec)
+	}
+	s.res.Start = s.res.Jobs[0].Arrival
+	s.res.End = s.res.Jobs[0].Finish
+	for _, r := range s.res.Jobs {
+		s.res.Start = s.res.Start.Min(r.Arrival)
+		s.res.End = s.res.End.Max(r.Finish)
+	}
+	return &s.res, nil
+}

@@ -1,0 +1,122 @@
+// Package table renders experiment output as aligned text tables and CSV,
+// the two formats cmd/qossweep and the benchmark harness emit.
+package table
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row. Short rows are padded with empty cells; long rows
+// extend the column set with empty headers.
+func (t *Table) Add(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	for len(t.Columns) < len(cells) {
+		t.Columns = append(t.Columns, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintln(bw, t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(t.Columns)
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("table: write: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			bw.WriteString(cell)
+		}
+		bw.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("table: write csv: %w", err)
+	}
+	return nil
+}
+
+// String renders the table as text, for logs and tests.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.WriteText(&sb); err != nil {
+		return fmt.Sprintf("table: %v", err)
+	}
+	return sb.String()
+}
+
+// Float formats a float with the given number of decimals.
+func Float(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Sci formats a float in scientific notation with three significant digits,
+// the natural format for lost-work magnitudes.
+func Sci(v float64) string {
+	return strconv.FormatFloat(v, 'e', 2, 64)
+}

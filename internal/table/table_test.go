@@ -1,0 +1,52 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("Demo", "a", "metric")
+	tb.Add("0.1", "0.93")
+	tb.Add("1", "0.99")
+	got := tb.String()
+	for _, want := range []string{"Demo", "a    metric", "0.1  0.93", "1    0.99", "---"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAddPadsAndExtends(t *testing.T) {
+	tb := New("", "x", "y")
+	tb.Add("1")
+	tb.Add("1", "2", "3")
+	if len(tb.Rows[0]) != 2 {
+		t.Errorf("short row not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Columns) != 3 {
+		t.Errorf("columns not extended: %v", tb.Columns)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "name", "value")
+	tb.Add(`with "quote", and comma`, "1")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\n\"with \"\"quote\"\", and comma\",1\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Float(0.93456, 3); got != "0.935" {
+		t.Errorf("Float = %q", got)
+	}
+	if got := Sci(4.5e7); got != "4.50e+07" {
+		t.Errorf("Sci = %q", got)
+	}
+}

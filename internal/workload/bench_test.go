@@ -1,0 +1,17 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerateSDSC measures synthesis of the paper-scale SDSC log.
+func BenchmarkGenerateSDSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateSDSC(GenConfig{Jobs: 10000, Seed: int64(i)})
+	}
+}
+
+// BenchmarkGenerateNASA measures synthesis of the paper-scale NASA log.
+func BenchmarkGenerateNASA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateNASA(GenConfig{Jobs: 10000, Seed: int64(i)})
+	}
+}

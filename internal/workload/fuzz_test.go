@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseSWF(f *testing.F) {
+	f.Add([]byte("; header\n1 0 -1 600 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("2 50 0 200 8 -1 -1 8 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("1 2 3\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		log, err := ParseSWF("fuzz", bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for _, j := range log.Jobs {
+			if j.Nodes <= 0 || j.Exec <= 0 || j.Arrival < 0 {
+				t.Fatalf("parser accepted invalid job %+v", j)
+			}
+		}
+		// Accepted logs must round-trip through the writer without error.
+		var buf bytes.Buffer
+		if err := log.WriteSWF(&buf); err != nil {
+			t.Fatalf("accepted log failed to serialize: %v", err)
+		}
+	})
+}

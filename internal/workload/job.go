@@ -1,0 +1,139 @@
+// Package workload models parallel job logs: the job records the simulator
+// consumes, a parser and writer for the Standard Workload Format (SWF)
+// subset those records need, and synthetic generators calibrated to the two
+// logs the paper evaluates on (NASA Ames iPSC/860 and SDSC SP, Table 1).
+package workload
+
+import (
+	"fmt"
+
+	"probqos/internal/units"
+)
+
+// Job is a single parallel job as submitted to the cluster.
+//
+// Exec is the checkpoint-free execution time e_j; the time including
+// checkpoints (E_j) depends on the checkpointing policy and is computed by
+// the simulator, not stored here. Per the paper, runtime estimates are taken
+// to be exact.
+type Job struct {
+	// ID identifies the job within its log (1-based, unique).
+	ID int
+	// Arrival is the submission instant v_j.
+	Arrival units.Time
+	// Nodes is the job size n_j in nodes.
+	Nodes int
+	// Exec is the execution time e_j excluding all checkpoint overhead.
+	Exec units.Duration
+	// Estimate is the user-supplied runtime estimate the system plans
+	// with. Zero means exact (the paper's assumption: "our simulations
+	// assume that the estimated execution times are accurate"). Real users
+	// overestimate, which the generators can model; see
+	// GenConfig.EstimateInflation.
+	Estimate units.Duration
+}
+
+// PlanExec returns the runtime the system should plan with: the user
+// estimate when one is given, otherwise the exact execution time.
+func (j Job) PlanExec() units.Duration {
+	if j.Estimate > 0 {
+		return j.Estimate
+	}
+	return j.Exec
+}
+
+// Work returns the job's useful work e_j * n_j in node-seconds.
+func (j Job) Work() units.Work { return units.WorkFor(j.Nodes, j.Exec) }
+
+// Validate reports an error if the job's fields are not usable by the
+// simulator (non-positive size or runtime, negative arrival).
+func (j Job) Validate(clusterNodes int) error {
+	switch {
+	case j.Nodes <= 0:
+		return fmt.Errorf("workload: job %d has non-positive size %d", j.ID, j.Nodes)
+	case clusterNodes > 0 && j.Nodes > clusterNodes:
+		return fmt.Errorf("workload: job %d needs %d nodes but the cluster has %d", j.ID, j.Nodes, clusterNodes)
+	case j.Exec <= 0:
+		return fmt.Errorf("workload: job %d has non-positive runtime %d", j.ID, j.Exec)
+	case j.Estimate < 0:
+		return fmt.Errorf("workload: job %d has negative estimate %d", j.ID, j.Estimate)
+	case j.Estimate > 0 && j.Estimate < j.Exec:
+		return fmt.Errorf("workload: job %d underestimates its runtime (%d < %d); the simulator does not model estimate kills", j.ID, j.Estimate, j.Exec)
+	case j.Arrival < 0:
+		return fmt.Errorf("workload: job %d has negative arrival %d", j.ID, j.Arrival)
+	}
+	return nil
+}
+
+// Log is an ordered job log. Jobs are sorted by arrival time.
+type Log struct {
+	// Name labels the log in reports (e.g. "NASA", "SDSC").
+	Name string
+	// Jobs holds the jobs sorted by non-decreasing arrival time.
+	Jobs []Job
+}
+
+// Characteristics are the aggregate properties reported in Table 1 of the
+// paper, plus the totals the metrics need.
+type Characteristics struct {
+	Jobs      int
+	AvgNodes  float64        // average n_j
+	AvgExec   float64        // average e_j, seconds
+	MaxExec   units.Duration // maximum e_j
+	Span      units.Duration // last arrival - first arrival
+	TotalWork units.Work     // sum of e_j * n_j
+}
+
+// Characteristics computes the log's aggregate properties.
+func (l *Log) Characteristics() Characteristics {
+	var c Characteristics
+	c.Jobs = len(l.Jobs)
+	if c.Jobs == 0 {
+		return c
+	}
+	var (
+		sumNodes int64
+		sumExec  int64
+		first    = l.Jobs[0].Arrival
+		last     = l.Jobs[0].Arrival
+	)
+	for _, j := range l.Jobs {
+		sumNodes += int64(j.Nodes)
+		sumExec += int64(j.Exec)
+		if j.Exec > c.MaxExec {
+			c.MaxExec = j.Exec
+		}
+		first = first.Min(j.Arrival)
+		last = last.Max(j.Arrival)
+		c.TotalWork += j.Work()
+	}
+	c.AvgNodes = float64(sumNodes) / float64(c.Jobs)
+	c.AvgExec = float64(sumExec) / float64(c.Jobs)
+	c.Span = last.Sub(first)
+	return c
+}
+
+// Validate checks every job in the log. clusterNodes <= 0 skips the size
+// check. It also verifies that jobs are sorted by arrival.
+func (l *Log) Validate(clusterNodes int) error {
+	for i, j := range l.Jobs {
+		if err := j.Validate(clusterNodes); err != nil {
+			return err
+		}
+		if i > 0 && j.Arrival < l.Jobs[i-1].Arrival {
+			return fmt.Errorf("workload: job %d arrives before its predecessor", j.ID)
+		}
+	}
+	return nil
+}
+
+// OfferedLoad returns the log's offered load on a cluster of n nodes: total
+// work divided by the capacity available over the log's arrival span. A
+// value near 1 means the cluster is saturated.
+func (l *Log) OfferedLoad(n int) float64 {
+	c := l.Characteristics()
+	if c.Span <= 0 || n <= 0 {
+		return 0
+	}
+	return c.TotalWork.NodeSeconds() / (c.Span.Seconds() * float64(n))
+}

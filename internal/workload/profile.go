@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"probqos/internal/stats"
+)
+
+// Profile is a distributional summary of a job log, beyond the Table 1
+// aggregates: size mix, runtime percentiles, and the work concentration
+// that determines how much is at stake when large jobs fail.
+type Profile struct {
+	Characteristics Characteristics
+	// SizeCounts maps job size to its frequency.
+	SizeCounts map[int]int
+	// PowerOfTwoShare is the fraction of jobs with power-of-two sizes.
+	PowerOfTwoShare float64
+	// RuntimeP50, P90, P99 are runtime percentiles in seconds.
+	RuntimeP50, RuntimeP90, RuntimeP99 float64
+	// WorkTop1Share is the fraction of total work contributed by the 1% of
+	// jobs with the most node-seconds: the tail concentration.
+	WorkTop1Share float64
+}
+
+// BuildProfile computes the distributional summary of a log.
+func BuildProfile(l *Log) Profile {
+	p := Profile{
+		Characteristics: l.Characteristics(),
+		SizeCounts:      make(map[int]int),
+	}
+	if len(l.Jobs) == 0 {
+		return p
+	}
+	runtimes := make([]float64, len(l.Jobs))
+	works := make([]float64, len(l.Jobs))
+	pow2 := 0
+	var totalWork float64
+	for i, j := range l.Jobs {
+		p.SizeCounts[j.Nodes]++
+		if j.Nodes&(j.Nodes-1) == 0 {
+			pow2++
+		}
+		runtimes[i] = j.Exec.Seconds()
+		works[i] = j.Work().NodeSeconds()
+		totalWork += works[i]
+	}
+	p.PowerOfTwoShare = float64(pow2) / float64(len(l.Jobs))
+	p.RuntimeP50 = stats.Percentile(runtimes, 50)
+	p.RuntimeP90 = stats.Percentile(runtimes, 90)
+	p.RuntimeP99 = stats.Percentile(runtimes, 99)
+
+	sort.Sort(sort.Reverse(sort.Float64Slice(works)))
+	top := len(works) / 100
+	if top < 1 {
+		top = 1
+	}
+	var topWork float64
+	for _, w := range works[:top] {
+		topWork += w
+	}
+	if totalWork > 0 {
+		p.WorkTop1Share = topWork / totalWork
+	}
+	return p
+}
+
+// WriteTo renders the profile as a human-readable report.
+func (p Profile) WriteTo(w io.Writer) (int64, error) {
+	c := p.Characteristics
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := write("jobs:              %d\n", c.Jobs); err != nil {
+		return total, err
+	}
+	if err := write("avg size:          %.2f nodes (%.0f%% power-of-two)\n",
+		c.AvgNodes, 100*p.PowerOfTwoShare); err != nil {
+		return total, err
+	}
+	if err := write("runtime:           avg %.0fs  p50 %.0fs  p90 %.0fs  p99 %.0fs  max %.1fh\n",
+		c.AvgExec, p.RuntimeP50, p.RuntimeP90, p.RuntimeP99, c.MaxExec.Hours()); err != nil {
+		return total, err
+	}
+	if err := write("arrival span:      %.1f days\n", c.Span.Hours()/24); err != nil {
+		return total, err
+	}
+	if err := write("total work:        %.3e node-s (top 1%% of jobs hold %.0f%%)\n",
+		c.TotalWork.NodeSeconds(), 100*p.WorkTop1Share); err != nil {
+		return total, err
+	}
+	return total, nil
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildProfileSimple(t *testing.T) {
+	l := &Log{Jobs: []Job{
+		{ID: 1, Nodes: 2, Exec: 100},
+		{ID: 2, Nodes: 3, Exec: 200},
+		{ID: 3, Nodes: 4, Exec: 300},
+		{ID: 4, Nodes: 4, Exec: 10000},
+	}}
+	p := BuildProfile(l)
+	if p.SizeCounts[4] != 2 || p.SizeCounts[3] != 1 {
+		t.Errorf("size counts = %v", p.SizeCounts)
+	}
+	if math.Abs(p.PowerOfTwoShare-0.75) > 1e-12 {
+		t.Errorf("pow2 share = %v, want 0.75", p.PowerOfTwoShare)
+	}
+	if p.RuntimeP50 < 100 || p.RuntimeP50 > 300 {
+		t.Errorf("p50 = %v", p.RuntimeP50)
+	}
+	// Top 1% rounds up to one job: the 40000-node-s giant out of 42000.
+	if math.Abs(p.WorkTop1Share-40000.0/42000.0) > 1e-9 {
+		t.Errorf("top-1%% share = %v", p.WorkTop1Share)
+	}
+}
+
+func TestBuildProfileEmpty(t *testing.T) {
+	p := BuildProfile(&Log{})
+	if p.WorkTop1Share != 0 || len(p.SizeCounts) != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}
+
+func TestProfileWriteTo(t *testing.T) {
+	log := GenerateNASA(GenConfig{Jobs: 500, Seed: 8})
+	p := BuildProfile(log)
+	var sb strings.Builder
+	if _, err := p.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"jobs:", "avg size:", "runtime:", "total work:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "100% power-of-two") {
+		t.Errorf("NASA profile should be 100%% power-of-two:\n%s", out)
+	}
+}
+
+func TestProfileTailConcentration(t *testing.T) {
+	// The SDSC regime must concentrate a large share of work in few jobs;
+	// that concentration is what makes its failures expensive.
+	p := BuildProfile(GenerateSDSC(GenConfig{Jobs: 5000, Seed: 9}))
+	if p.WorkTop1Share < 0.10 {
+		t.Errorf("SDSC top-1%% work share = %.3f, expected a heavy tail", p.WorkTop1Share)
+	}
+	nasa := BuildProfile(GenerateNASA(GenConfig{Jobs: 5000, Seed: 9}))
+	if nasa.WorkTop1Share <= 0 {
+		t.Errorf("NASA top share = %v", nasa.WorkTop1Share)
+	}
+}

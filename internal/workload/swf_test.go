@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"probqos/internal/units"
+)
+
+func TestParseSWF(t *testing.T) {
+	const in = `; Comment line
+; Another comment
+
+1 0 5 100 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 50 0 200 8 -1 -1 8 200 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 60 0 -1 8 -1 -1 8 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+4 70 0 300 0 -1 -1 0 300 -1 0 -1 -1 -1 -1 -1 -1 -1
+`
+	log, err := ParseSWF("test", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2 (incomplete records dropped)", len(log.Jobs))
+	}
+	want := []Job{
+		{ID: 1, Arrival: 0, Nodes: 4, Exec: 100},
+		{ID: 2, Arrival: 50, Nodes: 8, Exec: 200},
+	}
+	for i, j := range log.Jobs {
+		if j != want[i] {
+			t.Errorf("job %d = %+v, want %+v", i, j, want[i])
+		}
+	}
+}
+
+func TestParseSWFSortsByArrival(t *testing.T) {
+	const in = `2 100 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1
+1 50 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	log, err := ParseSWF("test", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Jobs[0].ID != 1 || log.Jobs[1].ID != 2 {
+		t.Errorf("jobs not sorted by arrival: %+v", log.Jobs)
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "too few fields", give: "1 2 3\n"},
+		{name: "bad job number", give: "x 0 0 10 1\n"},
+		{name: "bad submit", give: "1 x 0 10 1\n"},
+		{name: "bad runtime", give: "1 0 0 x 1\n"},
+		{name: "bad procs", give: "1 0 0 10 x\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSWF("bad", strings.NewReader(tt.give)); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig := GenerateNASA(GenConfig{Jobs: 300, Seed: 5})
+	var buf bytes.Buffer
+	if err := orig.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSWF("NASA", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Jobs) != len(orig.Jobs) {
+		t.Fatalf("round trip lost jobs: %d -> %d", len(orig.Jobs), len(parsed.Jobs))
+	}
+	for i := range orig.Jobs {
+		if parsed.Jobs[i] != orig.Jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, parsed.Jobs[i], orig.Jobs[i])
+		}
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Job
+		nodes   int
+		wantErr bool
+	}{
+		{name: "valid", give: Job{ID: 1, Nodes: 4, Exec: 10}, nodes: 128},
+		{name: "zero size", give: Job{ID: 1, Nodes: 0, Exec: 10}, nodes: 128, wantErr: true},
+		{name: "too big", give: Job{ID: 1, Nodes: 200, Exec: 10}, nodes: 128, wantErr: true},
+		{name: "size check skipped", give: Job{ID: 1, Nodes: 200, Exec: 10}, nodes: 0},
+		{name: "zero exec", give: Job{ID: 1, Nodes: 4, Exec: 0}, nodes: 128, wantErr: true},
+		{name: "negative arrival", give: Job{ID: 1, Nodes: 4, Exec: 10, Arrival: -1}, nodes: 128, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate(tt.nodes)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLogValidateOrdering(t *testing.T) {
+	log := &Log{Jobs: []Job{
+		{ID: 1, Arrival: 100, Nodes: 1, Exec: 1},
+		{ID: 2, Arrival: 50, Nodes: 1, Exec: 1},
+	}}
+	if err := log.Validate(128); err == nil {
+		t.Error("expected ordering error")
+	}
+}
+
+func TestCharacteristicsEmpty(t *testing.T) {
+	var l Log
+	c := l.Characteristics()
+	if c.Jobs != 0 || c.TotalWork != 0 {
+		t.Errorf("empty log characteristics: %+v", c)
+	}
+	if l.OfferedLoad(128) != 0 {
+		t.Error("empty log offered load should be 0")
+	}
+}
+
+func TestJobWork(t *testing.T) {
+	j := Job{Nodes: 4, Exec: 25}
+	if got := j.Work(); got != 100 {
+		t.Errorf("Work = %v, want 100", got)
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	l := &Log{Jobs: []Job{
+		{ID: 1, Arrival: 0, Nodes: 10, Exec: 100},
+		{ID: 2, Arrival: 1000, Nodes: 10, Exec: 100},
+	}}
+	// work = 2000 node-s over span 1000 s on 2 nodes -> load 1.0
+	if got := l.OfferedLoad(2); got != 1.0 {
+		t.Errorf("OfferedLoad = %v, want 1.0", got)
+	}
+	if got := l.OfferedLoad(0); got != 0 {
+		t.Errorf("OfferedLoad(0) = %v, want 0", got)
+	}
+}
+
+func TestCharacteristicsSpan(t *testing.T) {
+	l := &Log{Jobs: []Job{
+		{ID: 1, Arrival: 10, Nodes: 1, Exec: 1},
+		{ID: 2, Arrival: 250, Nodes: 1, Exec: 1},
+	}}
+	if c := l.Characteristics(); c.Span != units.Duration(240) {
+		t.Errorf("Span = %v, want 240", c.Span)
+	}
+}
+
+func TestParseSWFNeverPanicsProperty(t *testing.T) {
+	// The parser must reject or clean arbitrary junk without panicking and
+	// never produce jobs that fail validation.
+	f := func(raw []byte) bool {
+		log, err := ParseSWF("fuzz", bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		for _, j := range log.Jobs {
+			if j.Nodes <= 0 || j.Exec <= 0 || j.Arrival < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
