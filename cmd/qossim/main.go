@@ -8,9 +8,16 @@
 //	       [-a accuracy] [-u risk] [-seed S] [-policy risk|periodic|never]
 //	       [-no-deadline-skip] [-no-fault-aware] [-no-negotiate]
 //	       [-pure-forecast] [-journal out.jsonl] [-json]
+//	       [-serve addr] [-hold] [-profile] [-series out.csv] [-sample-mins M]
 //
 // Without -failures a synthetic trace matching the paper's AIX failure
 // data (1021 failures/year on 128 nodes, MTBF 8.5 h) is generated.
+//
+// Observability: -serve exposes /metrics (Prometheus text), /healthz, and
+// /snapshot while the run executes (-hold keeps serving after it finishes);
+// -profile prints the per-phase wall-clock breakdown; -series writes the
+// sampled cluster time series (queue depth, nodes busy, lost work, mean
+// promise) as CSV, one point per -sample-mins of simulated time.
 package main
 
 import (
@@ -54,6 +61,11 @@ func run(out io.Writer, args []string) error {
 		calibration  = fs.Bool("calibration", false, "print the promise reliability diagram")
 		breakdown    = fs.Bool("breakdown", false, "print per-size-class metrics")
 		asJSON       = fs.Bool("json", false, "emit the metrics report as JSON")
+		serveAddr    = fs.String("serve", "", "serve live /metrics, /healthz, /snapshot on this address during the run")
+		hold         = fs.Bool("hold", false, "with -serve: keep serving after the run until interrupted")
+		profile      = fs.Bool("profile", false, "report the per-phase wall-clock breakdown")
+		seriesPath   = fs.String("series", "", "write the sampled cluster time series as CSV to this file")
+		sampleMins   = fs.Float64("sample-mins", 15, "cluster-state sampling cadence in simulated minutes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +130,26 @@ func run(out io.Writer, args []string) error {
 		journal = jw
 	}
 
+	var instrument *probqos.Instrument
+	if *serveAddr != "" || *profile || *seriesPath != "" {
+		if *sampleMins <= 0 {
+			return fmt.Errorf("-sample-mins must be positive, got %v", *sampleMins)
+		}
+		reg := probqos.NewMetricsRegistry()
+		instrument = probqos.NewInstrument(reg, probqos.Duration(*sampleMins*60))
+		cfg.Probe = instrument
+		cfg.Observer = probqos.MultiObserver(cfg.Observer, instrument)
+		if *serveAddr != "" {
+			srv := probqos.NewMetricsServer(reg, instrument)
+			addr, err := srv.Start(*serveAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", addr)
+		}
+	}
+
 	res, err := probqos.Run(cfg)
 	if err != nil {
 		return err
@@ -126,6 +158,9 @@ func run(out io.Writer, args []string) error {
 		if err := journal.Close(); err != nil {
 			return err
 		}
+	}
+	if instrument != nil {
+		instrument.Flush()
 	}
 	report := probqos.Metrics(res)
 	if *perJobPath != "" {
@@ -155,10 +190,49 @@ func run(out io.Writer, args []string) error {
 		}
 	}
 
+	if *seriesPath != "" {
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			return err
+		}
+		if err := instrument.WriteSeriesCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	if *asJSON {
+		// Fold the optional sections in as nested objects so -breakdown,
+		// -calibration, and -profile compose with -json.
+		type calibrationJSON struct {
+			Bins           []probqos.CalibrationBin `json:"bins"`
+			Overconfidence float64                  `json:"overconfidence"`
+		}
+		payload := struct {
+			probqos.Report
+			Breakdown   []probqos.ClassReport `json:"breakdown,omitempty"`
+			Calibration *calibrationJSON      `json:"calibration,omitempty"`
+			Profile     []probqos.PhaseStat   `json:"profile,omitempty"`
+		}{Report: report}
+		if *breakdown {
+			payload.Breakdown = probqos.MetricsBySize(res)
+		}
+		if *calibration {
+			bins := probqos.Calibration(res, 10)
+			payload.Calibration = &calibrationJSON{Bins: bins, Overconfidence: probqos.Overconfidence(bins)}
+		}
+		if *profile {
+			payload.Profile = instrument.Report()
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(payload); err != nil {
+			return err
+		}
+		return holdOpen(out, *hold, *serveAddr)
 	}
 	performed, skipped := res.TotalCheckpoints()
 	fmt.Fprintf(out, "workload           %s (%d jobs)\n", log.Name, len(log.Jobs))
@@ -200,7 +274,23 @@ func run(out io.Writer, args []string) error {
 		}
 		fmt.Fprintf(out, "  worst overconfidence: %.4f\n", probqos.Overconfidence(bins))
 	}
-	return nil
+	if *profile {
+		fmt.Fprintln(out, "\nphase profile (wall-clock):")
+		if err := instrument.WriteReport(out); err != nil {
+			return err
+		}
+	}
+	return holdOpen(out, *hold, *serveAddr)
+}
+
+// holdOpen blocks forever when -serve -hold asked the endpoint to outlive
+// the run, so operators can inspect a finished simulation's metrics.
+func holdOpen(out io.Writer, hold bool, serveAddr string) error {
+	if !hold || serveAddr == "" {
+		return nil
+	}
+	fmt.Fprintln(out, "run complete; serving until interrupted")
+	select {}
 }
 
 func loadWorkload(name string, jobs int, seed int64, nodes int) (*probqos.JobLog, error) {

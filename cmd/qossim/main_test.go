@@ -121,3 +121,100 @@ func TestRunMonitorPredictor(t *testing.T) {
 		t.Error("monitor with -failures should be rejected")
 	}
 }
+
+func TestRunJSONFoldsSections(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-jobs", "80", "-json", "-breakdown", "-calibration", "-profile"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		QoS         *float64         `json:"QoS"`
+		Breakdown   []map[string]any `json:"breakdown"`
+		Calibration *struct {
+			Bins           []map[string]any `json:"bins"`
+			Overconfidence *float64         `json:"overconfidence"`
+		} `json:"calibration"`
+		Profile []struct {
+			Phase string `json:"phase"`
+			Calls uint64 `json:"calls"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if payload.QoS == nil {
+		t.Error("report fields missing")
+	}
+	if len(payload.Breakdown) == 0 {
+		t.Error("breakdown not folded into JSON")
+	}
+	if payload.Calibration == nil || len(payload.Calibration.Bins) == 0 || payload.Calibration.Overconfidence == nil {
+		t.Errorf("calibration not folded into JSON: %+v", payload.Calibration)
+	}
+	if len(payload.Profile) == 0 || payload.Profile[0].Phase != "dispatch" || payload.Profile[0].Calls == 0 {
+		t.Errorf("profile not folded into JSON: %+v", payload.Profile)
+	}
+	// The folded document is the whole output: nothing printed around it.
+	var extra any
+	dec := json.NewDecoder(strings.NewReader(sb.String()))
+	if err := dec.Decode(&extra); err != nil {
+		t.Fatal(err)
+	}
+	if dec.More() {
+		t.Error("trailing content after the JSON document")
+	}
+}
+
+func TestRunJSONOmitsSectionsByDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-jobs", "60", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"breakdown", "calibration", "profile"} {
+		if _, ok := report[key]; ok {
+			t.Errorf("%s present without its flag", key)
+		}
+	}
+}
+
+func TestRunObservabilityFlags(t *testing.T) {
+	series := filepath.Join(t.TempDir(), "series.csv")
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-jobs", "80", "-serve", "127.0.0.1:0", "-profile",
+		"-series", series, "-sample-mins", "30",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "serving metrics on http://127.0.0.1:") {
+		t.Errorf("serve banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "phase profile (wall-clock):") || !strings.Contains(out, "dispatch") {
+		t.Errorf("phase profile missing:\n%s", out)
+	}
+	data, err := os.ReadFile(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("series CSV too short:\n%s", data)
+	}
+	if !strings.HasPrefix(lines[0], "time_s,queue_depth,") {
+		t.Errorf("series header = %q", lines[0])
+	}
+}
+
+func TestRunRejectsBadSampleCadence(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-jobs", "20", "-profile", "-sample-mins", "0"}); err == nil {
+		t.Error("non-positive -sample-mins accepted")
+	}
+}

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	qossweep [-exp all|list|table1|table2|fig1..fig12|headline|ablation-*]
-//	         [-jobs N] [-seed S] [-workers W] [-csv]
+//	         [-jobs N] [-seed S] [-workers W] [-csv] [-serve addr]
 //
 // "-exp list" prints the available experiments. Full scale (10,000 jobs)
 // regenerates everything in a few minutes; -jobs 2000 gives a fast preview
 // with the same shapes.
+//
+// -serve exposes the sweep live over HTTP while it runs: /metrics carries
+// Prometheus gauges for points done/queued, elapsed seconds, and an ETA, so
+// multi-hour sweeps can be watched from a browser or scraped.
 package main
 
 import (
@@ -19,8 +23,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"probqos/internal/experiment"
+	"probqos/internal/obs"
 	"probqos/internal/table"
 )
 
@@ -40,6 +46,7 @@ func run(out io.Writer, args []string) error {
 		workers = fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		asCSV   = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir  = fs.String("outdir", "", "also write each experiment's tables as CSV files into this directory")
+		serve   = fs.String("serve", "", "serve sweep progress on this address (/metrics, /healthz, /snapshot)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +76,33 @@ func run(out io.Writer, args []string) error {
 	env.JobCount = *jobs
 	env.Seed = *seed
 	env.Workers = *workers
+
+	if *serve != "" {
+		reg := obs.NewRegistry()
+		srv := obs.NewServer(reg, nil, nil)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "serving sweep metrics on http://%s/metrics\n", addr)
+		var (
+			gQueued  = reg.Gauge("probqos_sweep_points_total", "Simulation points queued so far (grows as experiments prefetch).", nil)
+			gDone    = reg.Gauge("probqos_sweep_points_done", "Simulation points computed so far.", nil)
+			gElapsed = reg.Gauge("probqos_sweep_elapsed_seconds", "Wall-clock seconds since the sweep started.", nil)
+			gETA     = reg.Gauge("probqos_sweep_eta_seconds", "Estimated seconds to finish the points queued so far.", nil)
+			start    = time.Now()
+		)
+		env.Progress = func(done, queued int) {
+			elapsed := time.Since(start).Seconds()
+			gDone.Set(float64(done))
+			gQueued.Set(float64(queued))
+			gElapsed.Set(elapsed)
+			if done > 0 {
+				gETA.Set(elapsed / float64(done) * float64(queued-done))
+			}
+		}
+	}
 
 	for i, exp := range selected {
 		if i > 0 {

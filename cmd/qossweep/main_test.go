@@ -64,3 +64,16 @@ func TestRunOutDir(t *testing.T) {
 		t.Errorf("csv content wrong: %s", data)
 	}
 }
+
+func TestRunServeFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-exp", "table1", "-jobs", "200", "-serve", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serving sweep metrics on http://127.0.0.1:") {
+		t.Errorf("serve banner missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "NASA") {
+		t.Errorf("sweep output missing:\n%s", sb.String())
+	}
+}

@@ -30,14 +30,21 @@ type Env struct {
 	Seed int64
 	// Workers bounds parallel point evaluation; 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, observes sweep progress: it is called with the
+	// cumulative number of points computed and the cumulative number queued
+	// so far (the total grows as experiments prefetch their grids). Calls
+	// may come from concurrent workers. Set it before running experiments.
+	Progress func(done, queued int)
 
-	mu        sync.Mutex
-	logs      map[string]*workload.Log
-	trace     *failure.Trace
-	altTraces map[string]*failure.Trace
-	rawLog    []failure.RawEvent
-	monitor   *health.Monitor
-	points    map[pointKey]metrics.Report
+	mu             sync.Mutex
+	progressDone   int
+	progressQueued int
+	logs           map[string]*workload.Log
+	trace          *failure.Trace
+	altTraces      map[string]*failure.Trace
+	rawLog         []failure.RawEvent
+	monitor        *health.Monitor
+	points         map[pointKey]metrics.Report
 }
 
 type pointKey struct {
@@ -206,6 +213,32 @@ func VariantNames() []string {
 	return names
 }
 
+// noteQueued adds n newly queued points to the progress tally and notifies
+// Progress, if set.
+func (e *Env) noteQueued(n int) {
+	if n == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.progressQueued += n
+	done, queued, cb := e.progressDone, e.progressQueued, e.Progress
+	e.mu.Unlock()
+	if cb != nil {
+		cb(done, queued)
+	}
+}
+
+// noteDone records one computed point and notifies Progress, if set.
+func (e *Env) noteDone() {
+	e.mu.Lock()
+	e.progressDone++
+	done, queued, cb := e.progressDone, e.progressQueued, e.Progress
+	e.mu.Unlock()
+	if cb != nil {
+		cb(done, queued)
+	}
+}
+
 // Point runs (or recalls) one simulation at (log, a, u) under the named
 // variant and returns its metrics.
 func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, error) {
@@ -217,6 +250,7 @@ func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, e
 	}
 	e.mu.Unlock()
 
+	e.noteQueued(1)
 	r, err := e.compute(key)
 	if err != nil {
 		return metrics.Report{}, err
@@ -224,6 +258,7 @@ func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, e
 	e.mu.Lock()
 	e.points[key] = r
 	e.mu.Unlock()
+	e.noteDone()
 	return r, nil
 }
 
@@ -301,6 +336,7 @@ func (e *Env) Prefetch(specs []PointSpec) error {
 	if len(todo) == 0 {
 		return nil
 	}
+	e.noteQueued(len(todo))
 
 	var (
 		wg       sync.WaitGroup
@@ -321,6 +357,7 @@ func (e *Env) Prefetch(specs []PointSpec) error {
 				e.mu.Lock()
 				e.points[key] = r
 				e.mu.Unlock()
+				e.noteDone()
 			}
 		}()
 	}

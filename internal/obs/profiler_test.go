@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"probqos/internal/sim"
+)
+
+func TestProfilerReport(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProfiler(reg)
+	p.Phase(sim.PhaseDispatch, 10*time.Millisecond)
+	p.Phase(sim.PhaseDispatch, 30*time.Millisecond)
+	p.Phase(sim.PhaseSchedule, 8*time.Millisecond)
+	p.Phase(sim.PhaseNegotiate, 2*time.Millisecond)
+
+	rep := p.Report()
+	if len(rep) != len(sim.AllPhases()) {
+		t.Fatalf("report rows = %d, want %d", len(rep), len(sim.AllPhases()))
+	}
+	if rep[0].Phase != "dispatch" {
+		t.Fatalf("first row = %q, want dispatch", rep[0].Phase)
+	}
+	d := rep[0]
+	if d.Calls != 2 || d.TotalSeconds != 0.04 || d.MeanSeconds != 0.02 || d.MaxSeconds != 0.03 {
+		t.Errorf("dispatch stats = %+v", d)
+	}
+	if d.DispatchShare != 1 {
+		t.Errorf("dispatch share = %v, want 1", d.DispatchShare)
+	}
+	// Nested phases sort by descending total: schedule, negotiate, checkpoint.
+	if rep[1].Phase != "schedule" || rep[2].Phase != "negotiate" || rep[3].Phase != "checkpoint" {
+		t.Errorf("nested order: %s, %s, %s", rep[1].Phase, rep[2].Phase, rep[3].Phase)
+	}
+	if got := rep[1].DispatchShare; got != 0.2 {
+		t.Errorf("schedule share = %v, want 0.2", got)
+	}
+	if rep[3].Calls != 0 || rep[3].MeanSeconds != 0 {
+		t.Errorf("unused phase not zero: %+v", rep[3])
+	}
+
+	// The registry carries the same accounting.
+	if got := reg.Counter("probqos_sim_phase_calls_total", "", Labels{"phase": "dispatch"}).Value(); got != 2 {
+		t.Errorf("calls counter = %v, want 2", got)
+	}
+	if got := reg.Counter("probqos_sim_phase_seconds_total", "", Labels{"phase": "schedule"}).Value(); got != 0.008 {
+		t.Errorf("seconds counter = %v, want 0.008", got)
+	}
+	if got := reg.Histogram("probqos_sim_phase_duration_seconds", "", phaseDurationBounds, Labels{"phase": "negotiate"}).Count(); got != 1 {
+		t.Errorf("duration histogram count = %d, want 1", got)
+	}
+}
+
+func TestProfilerIgnoresUnknownPhase(t *testing.T) {
+	p := NewProfiler(NewRegistry())
+	p.Phase(sim.Phase(99), time.Second) // must not panic
+	if got := p.Report()[0].Calls; got != 0 {
+		t.Errorf("unknown phase leaked into dispatch: %d calls", got)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	p := NewProfiler(NewRegistry())
+	p.Phase(sim.PhaseDispatch, 5*time.Millisecond)
+	p.Phase(sim.PhaseCheckpoint, time.Millisecond)
+	var sb strings.Builder
+	if err := p.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"phase", "calls", "% disp", "dispatch", "checkpoint", "5ms"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if lines := strings.Count(got, "\n"); lines != 1+len(sim.AllPhases()) {
+		t.Errorf("report lines = %d:\n%s", lines, got)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"probqos/internal/sim"
+	"probqos/internal/units"
+)
+
+// DefaultCadence is the default simulation-time sampling period.
+const DefaultCadence = 15 * units.Minute
+
+// Point is one sampled cluster state on the simulation clock.
+type Point struct {
+	Time        units.Time `json:"time"`
+	QueueDepth  int        `json:"queue_depth"`
+	RunningJobs int        `json:"running_jobs"`
+	BusyNodes   int        `json:"busy_nodes"`
+	LostWork    units.Work `json:"lost_work_node_s"`
+	MeanPromise float64    `json:"mean_promise"`
+	Events      int        `json:"events"`
+}
+
+// Sampler subscribes to the simulator's Observer and Probe hooks and keeps
+// (1) live registry metrics — gauges for the instantaneous cluster state,
+// counters for events, journal notes, and control-plane decisions — and
+// (2) a fixed-cadence time series of Points for post-hoc plotting. It is
+// safe to read (Series, the registry) while a simulation is feeding it.
+type Sampler struct {
+	cadence units.Duration
+	reg     *Registry
+
+	mu      sync.Mutex
+	started bool
+	next    units.Time
+	points  []Point
+	last    Point
+	hasLast bool
+	notes   map[string]*Counter
+
+	events *Counter
+
+	quotes, reserves, backfills, slips *Counter
+	ckptGranted, ckptSkipped, ckptDead *Counter
+	failKill, failIdle                 *Counter
+
+	gTime, gQueue, gRunning, gBusy, gLost, gPromise *Gauge
+}
+
+var (
+	_ sim.Observer = (*Sampler)(nil)
+)
+
+// NewSampler registers the simulation metrics on reg and returns a sampler
+// recording one Point per cadence of simulation time (DefaultCadence if
+// cadence <= 0).
+func NewSampler(reg *Registry, cadence units.Duration) *Sampler {
+	if cadence <= 0 {
+		cadence = DefaultCadence
+	}
+	const (
+		decisions = "probqos_sim_decisions_total"
+		decHelp   = "Control-plane decisions by kind."
+		ckpts     = "probqos_sim_checkpoints_total"
+		ckptHelp  = "Checkpoint requests by decision outcome."
+		fails     = "probqos_sim_failures_total"
+		failHelp  = "Failures processed, by outcome."
+	)
+	s := &Sampler{
+		cadence: cadence,
+		reg:     reg,
+		notes:   make(map[string]*Counter),
+
+		events: reg.Counter("probqos_sim_events_total", "Simulator events dispatched.", nil),
+
+		quotes:      reg.Counter(decisions, decHelp, Labels{"kind": sim.DecisionQuote.String()}),
+		reserves:    reg.Counter(decisions, decHelp, Labels{"kind": sim.DecisionReserve.String()}),
+		backfills:   reg.Counter(decisions, decHelp, Labels{"kind": sim.DecisionBackfill.String()}),
+		slips:       reg.Counter(decisions, decHelp, Labels{"kind": sim.DecisionStartSlip.String()}),
+		ckptGranted: reg.Counter(ckpts, ckptHelp, Labels{"decision": "granted"}),
+		ckptSkipped: reg.Counter(ckpts, ckptHelp, Labels{"decision": "skipped"}),
+		ckptDead:    reg.Counter(ckpts, ckptHelp, Labels{"decision": "deadline-skipped"}),
+		failKill:    reg.Counter(fails, failHelp, Labels{"outcome": "job-killed"}),
+		failIdle:    reg.Counter(fails, failHelp, Labels{"outcome": "idle-node"}),
+
+		gTime:    reg.Gauge("probqos_sim_time_seconds", "Simulation clock, seconds since trace start.", nil),
+		gQueue:   reg.Gauge("probqos_sim_queue_depth", "Jobs negotiated but not executing.", nil),
+		gRunning: reg.Gauge("probqos_sim_running_jobs", "Jobs currently executing.", nil),
+		gBusy:    reg.Gauge("probqos_sim_nodes_busy", "Nodes occupied by running jobs.", nil),
+		gLost:    reg.Gauge("probqos_sim_lost_work_node_seconds", "Cumulative work destroyed by failures.", nil),
+		gPromise: reg.Gauge("probqos_sim_mean_promise", "Mean promised success probability over arrivals so far.", nil),
+	}
+	return s
+}
+
+// Sample implements the Probe state hook: it refreshes the live gauges on
+// every event and appends a Point once per cadence of simulation time.
+func (s *Sampler) Sample(st sim.State) {
+	s.events.Inc()
+	s.gTime.Set(float64(st.Time))
+	s.gQueue.Set(float64(st.QueueDepth))
+	s.gRunning.Set(float64(st.RunningJobs))
+	s.gBusy.Set(float64(st.BusyNodes))
+	s.gLost.Set(st.LostWork.NodeSeconds())
+	s.gPromise.Set(st.MeanPromise())
+
+	p := Point{
+		Time:        st.Time,
+		QueueDepth:  st.QueueDepth,
+		RunningJobs: st.RunningJobs,
+		BusyNodes:   st.BusyNodes,
+		LostWork:    st.LostWork,
+		MeanPromise: st.MeanPromise(),
+		Events:      st.EventsProcessed,
+	}
+	s.mu.Lock()
+	s.last, s.hasLast = p, true
+	if !s.started || st.Time >= s.next {
+		s.started = true
+		s.points = append(s.points, p)
+		s.next = st.Time.Add(s.cadence)
+	}
+	s.mu.Unlock()
+}
+
+// Decision implements the Probe decision hook.
+func (s *Sampler) Decision(d sim.Decision) {
+	switch d.Kind {
+	case sim.DecisionQuote:
+		s.quotes.Add(float64(d.N))
+	case sim.DecisionReserve:
+		s.reserves.Add(float64(d.N))
+	case sim.DecisionBackfill:
+		s.backfills.Add(float64(d.N))
+	case sim.DecisionStartSlip:
+		s.slips.Add(float64(d.N))
+	case sim.DecisionCheckpointGrant:
+		s.ckptGranted.Add(float64(d.N))
+	case sim.DecisionCheckpointSkip:
+		s.ckptSkipped.Add(float64(d.N))
+	case sim.DecisionCheckpointDeadlineSkip:
+		s.ckptDead.Add(float64(d.N))
+	case sim.DecisionFailureKill:
+		s.failKill.Add(float64(d.N))
+	case sim.DecisionFailureIdle:
+		s.failIdle.Add(float64(d.N))
+	}
+}
+
+// Observe implements sim.Observer, counting journal notes by kind. Attach
+// the sampler (alone or via sim.MultiObserver) to also meter the journal.
+func (s *Sampler) Observe(n sim.Note) {
+	s.mu.Lock()
+	c, ok := s.notes[n.Kind]
+	if !ok {
+		c = s.reg.Counter("probqos_sim_notes_total", "Journal notes by kind.", Labels{"kind": n.Kind})
+		s.notes[n.Kind] = c
+	}
+	s.mu.Unlock()
+	c.Inc()
+}
+
+// Flush appends the most recent state as a final Point if the cadence had
+// not yet captured it. Call it once when the run completes.
+func (s *Sampler) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasLast && (len(s.points) == 0 || s.points[len(s.points)-1].Time != s.last.Time) {
+		s.points = append(s.points, s.last)
+	}
+}
+
+// Series returns a copy of the sampled time series so far.
+func (s *Sampler) Series() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// SeriesTail returns at most n trailing points (all points if n <= 0).
+func (s *Sampler) SeriesTail(n int) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.points
+	if n > 0 && len(pts) > n {
+		pts = pts[len(pts)-n:]
+	}
+	return append([]Point(nil), pts...)
+}
+
+// WriteSeriesCSV writes the sampled time series as CSV for plotting.
+func (s *Sampler) WriteSeriesCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s,queue_depth,running_jobs,nodes_busy,lost_work_node_s,mean_promise,events"); err != nil {
+		return fmt.Errorf("obs: write series csv: %w", err)
+	}
+	for _, p := range s.Series() {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%.6f,%d\n",
+			int64(p.Time), p.QueueDepth, p.RunningJobs, p.BusyNodes,
+			int64(p.LostWork), p.MeanPromise, p.Events); err != nil {
+			return fmt.Errorf("obs: write series csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: write series csv: %w", err)
+	}
+	return nil
+}

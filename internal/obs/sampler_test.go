@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/failure"
+	"probqos/internal/sim"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+func mkState(t units.Time, events int) sim.State {
+	return sim.State{Time: t, EventsProcessed: events, QueueDepth: 1, RunningJobs: 2, BusyNodes: 4}
+}
+
+func TestSamplerCadenceDownsamples(t *testing.T) {
+	s := NewSampler(NewRegistry(), 100*units.Second)
+	for i := 0; i < 50; i++ {
+		s.Sample(mkState(units.Time(i*10), i+1)) // 10 s apart: one point per 10 events
+	}
+	pts := s.Series()
+	// t=0 starts the series; then t=100, 200, 300, 400.
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5: %+v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if p.Time != units.Time(i*100) {
+			t.Errorf("point %d at t=%v, want %v", i, p.Time, i*100)
+		}
+	}
+}
+
+func TestSamplerFlushAppendsFinalState(t *testing.T) {
+	s := NewSampler(NewRegistry(), DefaultCadence)
+	s.Sample(mkState(0, 1))
+	s.Sample(mkState(42, 2)) // within cadence: not sampled
+	s.Flush()
+	pts := s.Series()
+	if len(pts) != 2 || pts[1].Time != 42 {
+		t.Fatalf("flush did not append final state: %+v", pts)
+	}
+	s.Flush() // idempotent: same final time
+	if got := len(s.Series()); got != 2 {
+		t.Errorf("second flush added a point: %d", got)
+	}
+}
+
+func TestSamplerGaugesTrackLatestState(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, DefaultCadence)
+	st := sim.State{
+		Time: 900, EventsProcessed: 3, QueueDepth: 5, RunningJobs: 2, BusyNodes: 7,
+		LostWork: units.WorkFor(4, 100), PromiseSum: 1.8, PromisedJobs: 2,
+	}
+	s.Sample(st)
+	checks := map[string]float64{
+		"probqos_sim_time_seconds":           900,
+		"probqos_sim_queue_depth":            5,
+		"probqos_sim_running_jobs":           2,
+		"probqos_sim_nodes_busy":             7,
+		"probqos_sim_lost_work_node_seconds": 400,
+		"probqos_sim_mean_promise":           0.9,
+	}
+	for name, want := range checks {
+		if got := reg.Gauge(name, "", nil).Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := reg.Counter("probqos_sim_events_total", "", nil).Value(); got != 1 {
+		t.Errorf("events_total = %v, want 1", got)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	s := NewSampler(NewRegistry(), DefaultCadence)
+	s.Sample(mkState(0, 1))
+	var sb strings.Builder
+	if err := s.WriteSeriesCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 point:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "time_s,queue_depth,running_jobs,nodes_busy,lost_work_node_s,mean_promise,events" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1,2,4,0,0.000000,1" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteSeriesCSVPropagatesWriteError(t *testing.T) {
+	s := NewSampler(NewRegistry(), DefaultCadence)
+	s.Sample(mkState(0, 1))
+	wantErr := errors.New("disk full")
+	if err := s.WriteSeriesCSV(errWriter{wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped %v", err, wantErr)
+	}
+}
+
+type errWriter struct{ err error }
+
+func (w errWriter) Write([]byte) (int, error) { return 0, w.err }
+
+// TestInstrumentAgainstSimulation drives a real run with failures and
+// checkpoints and cross-checks the sampled metrics against the Result.
+func TestInstrumentAgainstSimulation(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 4, Exec: 9000},
+		{ID: 2, Arrival: 100, Nodes: 4, Exec: 5000},
+		{ID: 3, Arrival: 7000, Nodes: 8, Exec: 2000},
+	}
+	events := []failure.Event{
+		{Time: 2000, Node: 0, Detectability: 0.9},
+		{Time: 4000, Node: 7, Detectability: 0.9},
+	}
+	tr, err := failure.NewTrace(8, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(&workload.Log{Name: "test", Jobs: jobs}, tr)
+	cfg.Nodes = 8
+	cfg.Accuracy = 0 // failures invisible: they land and kill
+	cfg.Policy = checkpoint.Periodic{}
+
+	reg := NewRegistry()
+	ins := NewInstrument(reg, units.Minute)
+	cfg.Probe = ins
+	cfg.Observer = ins
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins.Flush()
+
+	counter := func(name string, labels Labels) float64 {
+		return reg.Counter(name, "", labels).Value()
+	}
+	if got := counter("probqos_sim_events_total", nil); got != float64(res.EventsProcessed) {
+		t.Errorf("events_total = %v, want %d", got, res.EventsProcessed)
+	}
+	// Grants are counted at request time, CheckpointsDone at completion: a
+	// failure can kill a job mid-checkpoint, so grants may exceed completions
+	// by at most the number of job-killing failures.
+	performed, skipped := res.TotalCheckpoints()
+	granted := counter("probqos_sim_checkpoints_total", Labels{"decision": "granted"})
+	if int(granted) < performed || int(granted) > performed+res.JobFailures() {
+		t.Errorf("checkpoints granted = %v, want in [%d, %d]", granted, performed, performed+res.JobFailures())
+	}
+	if got := counter("probqos_sim_checkpoints_total", Labels{"decision": "skipped"}); got != float64(skipped) {
+		t.Errorf("checkpoints skipped = %v, want %d", got, skipped)
+	}
+	kills := counter("probqos_sim_failures_total", Labels{"outcome": "job-killed"})
+	idles := counter("probqos_sim_failures_total", Labels{"outcome": "idle-node"})
+	if int(kills) != res.JobFailures() {
+		t.Errorf("job-killed = %v, want %d", kills, res.JobFailures())
+	}
+	if int(kills+idles) != len(res.Failures) {
+		t.Errorf("failures = %v, want %d", kills+idles, len(res.Failures))
+	}
+	if res.JobFailures() == 0 {
+		t.Fatal("scenario produced no job-killing failure; instrumentation not exercised")
+	}
+	if got := counter("probqos_sim_decisions_total", Labels{"kind": "reserve"}); got != float64(len(jobs)) {
+		t.Errorf("reserves = %v, want %d", got, len(jobs))
+	}
+	if got := counter("probqos_sim_decisions_total", Labels{"kind": "backfill"}); int(got) != res.JobFailures() {
+		t.Errorf("backfills = %v, want %d", got, res.JobFailures())
+	}
+	if got := reg.Gauge("probqos_sim_lost_work_node_seconds", "", nil).Value(); got != res.TotalLostWork().NodeSeconds() {
+		t.Errorf("lost work gauge = %v, want %v", got, res.TotalLostWork().NodeSeconds())
+	}
+	// The run drained: nothing queued, running, or busy.
+	for _, name := range []string{"probqos_sim_queue_depth", "probqos_sim_running_jobs", "probqos_sim_nodes_busy"} {
+		if got := reg.Gauge(name, "", nil).Value(); got != 0 {
+			t.Errorf("%s = %v at end of run, want 0", name, got)
+		}
+	}
+	// The journal was metered: every note kind that fired has a counter.
+	if got := counter("probqos_sim_notes_total", Labels{"kind": "arrival"}); got != float64(len(jobs)) {
+		t.Errorf("arrival notes = %v, want %d", got, len(jobs))
+	}
+	// The series covers the run and ends at the final event.
+	pts := ins.Series()
+	if len(pts) < 2 {
+		t.Fatalf("series too short: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time < pts[i-1].Time {
+			t.Fatalf("series time not monotone at %d: %+v", i, pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.QueueDepth != 0 || last.RunningJobs != 0 {
+		t.Errorf("final point not drained: %+v", last)
+	}
+	// Phase accounting saw every event.
+	rep := ins.Report()
+	if rep[0].Phase != "dispatch" || rep[0].Calls != uint64(res.EventsProcessed) {
+		t.Errorf("dispatch stats = %+v, want %d calls", rep[0], res.EventsProcessed)
+	}
+}

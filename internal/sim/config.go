@@ -85,6 +85,11 @@ type Config struct {
 	BaseRateFloor bool
 	// Observer, when non-nil, receives the event journal.
 	Observer Observer
+	// Probe, when non-nil, receives fine-grained instrumentation callbacks:
+	// per-event cluster-state samples, control-plane decisions, and
+	// wall-clock phase timings. internal/obs provides the standard
+	// implementation. A nil Probe costs the run nothing.
+	Probe Probe
 }
 
 // DefaultConfig returns the paper's Table 2 operating point for the given

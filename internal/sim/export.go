@@ -8,8 +8,12 @@ import (
 )
 
 // WriteJobsCSV writes one CSV row per completed job, for external analysis
-// of a run (cmd/qossim -perjob).
+// of a run (cmd/qossim -perjob). A nil receiver is an error, not a panic:
+// callers often hold a (*Result, error) pair.
 func (r *Result) WriteJobsCSV(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("sim: write jobs csv: nil result")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "id,nodes,exec_s,arrival,first_start,last_start,finish,"+
 		"deadline,promised,met_deadline,quotes,attempts,failures,ckpts_done,ckpts_skipped,"+
@@ -33,8 +37,12 @@ func (r *Result) WriteJobsCSV(w io.Writer) error {
 	return nil
 }
 
-// WriteFailuresCSV writes one CSV row per processed failure.
+// WriteFailuresCSV writes one CSV row per processed failure. A nil receiver
+// is an error, not a panic.
 func (r *Result) WriteFailuresCSV(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("sim: write failures csv: nil result")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "time,node,job,lost_node_s"); err != nil {
 		return fmt.Errorf("sim: write failures csv: %w", err)

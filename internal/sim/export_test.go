@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -65,5 +66,32 @@ func TestWriteFailuresCSV(t *testing.T) {
 	}
 	if lines[2] != "99999,7,0,0" {
 		t.Errorf("idle-node failure row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVNilResult(t *testing.T) {
+	var r *Result
+	if err := r.WriteJobsCSV(&strings.Builder{}); err == nil {
+		t.Error("WriteJobsCSV on nil result must error")
+	}
+	if err := r.WriteFailuresCSV(&strings.Builder{}); err == nil {
+		t.Error("WriteFailuresCSV on nil result must error")
+	}
+}
+
+// failWriter fails every write, to exercise the CSV error paths.
+type failWriter struct{ err error }
+
+func (w failWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestWriteCSVPropagatesWriteError(t *testing.T) {
+	cfg := smallConfig(t, []workload.Job{{ID: 1, Arrival: 0, Nodes: 2, Exec: 100}}, nil)
+	res := run(t, cfg)
+	wantErr := errors.New("disk full")
+	if err := res.WriteJobsCSV(failWriter{wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("WriteJobsCSV err = %v, want wrapped %v", err, wantErr)
+	}
+	if err := res.WriteFailuresCSV(failWriter{wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("WriteFailuresCSV err = %v, want wrapped %v", err, wantErr)
 	}
 }

@@ -154,3 +154,82 @@ func TestCheckpointFinishExactlyAtFailureInstant(t *testing.T) {
 		t.Errorf("lost work = %v, want %v (checkpoint must not count)", j.LostWork, want)
 	}
 }
+
+// recordingObserver captures the journal for delivery-order assertions.
+type recordingObserver struct{ notes []Note }
+
+func (o *recordingObserver) Observe(n Note) { o.notes = append(o.notes, n) }
+
+// TestObserverDeliveryOrder pins the journal contract: notes arrive in
+// nondecreasing simulation time even through failures, checkpoints, requeues,
+// and recoveries, and every lifecycle kind the scenario exercises shows up.
+func TestObserverDeliveryOrder(t *testing.T) {
+	events := []failure.Event{
+		{Time: 5000, Node: 0, Detectability: 0.9},
+		{Time: 6000, Node: 7, Detectability: 0.5},
+	}
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 4, Exec: 9000},
+		{ID: 2, Arrival: 50, Nodes: 2, Exec: 5000},
+		{ID: 3, Arrival: 4000, Nodes: 8, Exec: 1000},
+	}
+	cfg := smallConfig(t, jobs, events)
+	cfg.Accuracy = 0 // failures invisible: job 1 dies and requeues
+	cfg.Policy = checkpoint.Periodic{}
+	rec := &recordingObserver{}
+	cfg.Observer = rec
+	res := run(t, cfg)
+
+	if len(rec.notes) == 0 {
+		t.Fatal("no notes delivered")
+	}
+	kinds := make(map[string]int)
+	for i, n := range rec.notes {
+		kinds[n.Kind]++
+		if i > 0 && n.Time < rec.notes[i-1].Time {
+			t.Fatalf("note %d (%s) at t=%v after note %d at t=%v",
+				i, n.Kind, n.Time, i-1, rec.notes[i-1].Time)
+		}
+	}
+	for _, want := range []string{
+		"arrival", "start", "checkpoint-request", "checkpoint-finish",
+		"failure", "recovery", "finish",
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("journal missing kind %q (saw %v)", want, kinds)
+		}
+	}
+	// Every lifecycle edge is journaled: one arrival and one finish per job,
+	// one failure and recovery note per trace event.
+	if kinds["arrival"] != len(jobs) || kinds["finish"] != len(jobs) {
+		t.Errorf("arrivals/finishes = %d/%d, want %d each", kinds["arrival"], kinds["finish"], len(jobs))
+	}
+	if kinds["failure"] != len(res.Failures) || kinds["recovery"] != len(res.Failures) {
+		t.Errorf("failures/recoveries = %d/%d, want %d each", kinds["failure"], kinds["recovery"], len(res.Failures))
+	}
+	if res.JobFailures() == 0 {
+		t.Fatal("scenario produced no job-killing failure; requeue path not exercised")
+	}
+	// A requeued job starts more than once: starts exceed jobs.
+	if kinds["start"] <= len(jobs) {
+		t.Errorf("starts = %d, want > %d (requeue restart)", kinds["start"], len(jobs))
+	}
+}
+
+// TestMultiObserver pins the fan-out semantics: nil entries are dropped, a
+// single live observer is returned unwrapped, and fan-out preserves order.
+func TestMultiObserver(t *testing.T) {
+	if MultiObserver(nil, nil) != nil {
+		t.Error("all-nil fan-out should collapse to nil")
+	}
+	a := &recordingObserver{}
+	if got := MultiObserver(nil, a); got != Observer(a) {
+		t.Error("single live observer should be returned unwrapped")
+	}
+	b := &recordingObserver{}
+	m := MultiObserver(a, nil, b)
+	m.Observe(Note{Time: 7, Kind: "x"})
+	if len(a.notes) != 1 || len(b.notes) != 1 || a.notes[0].Time != 7 {
+		t.Errorf("fan-out failed: a=%v b=%v", a.notes, b.notes)
+	}
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"time"
+
+	"probqos/internal/units"
+)
+
+// State is the cluster-level snapshot the simulator hands to a Probe after
+// every processed event. All fields are cumulative or instantaneous values
+// the simulator maintains anyway; building a State is a handful of copies.
+type State struct {
+	// Time is the simulation clock at the snapshot.
+	Time units.Time
+	// EventsProcessed counts all events dispatched so far.
+	EventsProcessed int
+	// QueueDepth is the number of jobs that have negotiated a deadline but
+	// are not executing: waiting for their reserved start, slipped, or
+	// requeued after a failure.
+	QueueDepth int
+	// RunningJobs is the number of jobs currently executing.
+	RunningJobs int
+	// BusyNodes is the number of nodes occupied by running jobs.
+	BusyNodes int
+	// LostWork is the cumulative work destroyed by failures so far.
+	LostWork units.Work
+	// PromiseSum and PromisedJobs accumulate promised success probabilities
+	// over arrivals so far; their ratio is the running mean promise.
+	PromiseSum   float64
+	PromisedJobs int
+}
+
+// MeanPromise returns the mean promised success probability over jobs quoted
+// so far, or zero before the first arrival.
+func (st State) MeanPromise() float64 {
+	if st.PromisedJobs == 0 {
+		return 0
+	}
+	return st.PromiseSum / float64(st.PromisedJobs)
+}
+
+// DecisionKind enumerates the control-plane decisions the simulator reports
+// to a Probe.
+type DecisionKind int
+
+const (
+	// DecisionQuote reports the offers extended during one negotiation
+	// (Decision.N is the offer count).
+	DecisionQuote DecisionKind = iota + 1
+	// DecisionReserve is a reservation placed at arrival.
+	DecisionReserve
+	// DecisionBackfill is a post-failure requeue placement: the restarted
+	// job takes the earliest hole the profile offers.
+	DecisionBackfill
+	// DecisionStartSlip is a reserved start delayed by a node outage or a
+	// slipped predecessor.
+	DecisionStartSlip
+	// DecisionCheckpointGrant and DecisionCheckpointSkip are the two
+	// outcomes of a checkpoint request.
+	DecisionCheckpointGrant
+	DecisionCheckpointSkip
+	// DecisionCheckpointDeadlineSkip is a grant overridden because skipping
+	// might save the job's deadline (also reported as a skip).
+	DecisionCheckpointDeadlineSkip
+	// DecisionFailureKill is a failure that destroyed a running job;
+	// DecisionFailureIdle hit an unoccupied node.
+	DecisionFailureKill
+	DecisionFailureIdle
+)
+
+var decisionNames = map[DecisionKind]string{
+	DecisionQuote:                  "quote",
+	DecisionReserve:                "reserve",
+	DecisionBackfill:               "backfill",
+	DecisionStartSlip:              "start-slip",
+	DecisionCheckpointGrant:        "checkpoint-grant",
+	DecisionCheckpointSkip:         "checkpoint-skip",
+	DecisionCheckpointDeadlineSkip: "checkpoint-deadline-skip",
+	DecisionFailureKill:            "failure-kill",
+	DecisionFailureIdle:            "failure-idle",
+}
+
+func (k DecisionKind) String() string {
+	if n, ok := decisionNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Decision is one control-plane decision as reported to a Probe.
+type Decision struct {
+	Kind  DecisionKind
+	Time  units.Time
+	JobID int
+	// N is the decision's multiplicity: the offer count for DecisionQuote,
+	// 1 for everything else.
+	N int
+}
+
+// Phase enumerates the simulator's hot wall-clock phases. PhaseDispatch
+// covers whole-event processing; the other phases are timed sections nested
+// inside it.
+type Phase int
+
+const (
+	PhaseDispatch Phase = iota + 1
+	PhaseNegotiate
+	PhaseSchedule
+	PhaseCheckpoint
+)
+
+var phaseNames = map[Phase]string{
+	PhaseDispatch:   "dispatch",
+	PhaseNegotiate:  "negotiate",
+	PhaseSchedule:   "schedule",
+	PhaseCheckpoint: "checkpoint",
+}
+
+func (p Phase) String() string {
+	if n, ok := phaseNames[p]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// AllPhases lists the phases in display order (dispatch first).
+func AllPhases() []Phase {
+	return []Phase{PhaseDispatch, PhaseNegotiate, PhaseSchedule, PhaseCheckpoint}
+}
+
+// Probe receives fine-grained instrumentation callbacks from the simulator:
+// per-event cluster-state samples, control-plane decisions, and wall-clock
+// phase timings. internal/obs provides the standard implementation. Probes
+// run on the simulator goroutine and must not block; a nil Config.Probe
+// costs the run nothing.
+type Probe interface {
+	// Decision reports one control-plane decision as it is made.
+	Decision(Decision)
+	// Sample receives the cluster state after every processed event;
+	// implementations downsample as they see fit.
+	Sample(State)
+	// Phase reports the wall-clock spent in one hot phase occurrence.
+	Phase(p Phase, elapsed time.Duration)
+}
+
+// MultiObserver fans the journal out to several observers in order. Nil
+// entries are skipped; with zero or one live observers no fan-out wrapper is
+// allocated.
+func MultiObserver(obs ...Observer) Observer {
+	live := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) Observe(n Note) {
+	for _, o := range m {
+		o.Observe(n)
+	}
+}
+
+// phaseStart opens a wall-clock phase timer: it returns time.Now() when a
+// probe is attached and the zero Time otherwise, so the uninstrumented path
+// never reads the clock.
+func (s *simulator) phaseStart() time.Time {
+	if s.probe == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// phaseEnd closes a timer opened by phaseStart.
+func (s *simulator) phaseEnd(p Phase, t0 time.Time) {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Phase(p, time.Since(t0))
+}
+
+// decide reports one decision to the probe, if any.
+func (s *simulator) decide(kind DecisionKind, jobID, n int) {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Decision(Decision{Kind: kind, Time: s.now, JobID: jobID, N: n})
+}
+
+// state snapshots the cluster-level counters for Probe.Sample.
+func (s *simulator) state() State {
+	return State{
+		Time:            s.now,
+		EventsProcessed: s.res.EventsProcessed,
+		QueueDepth:      s.queueDepth,
+		RunningJobs:     s.runningJobs,
+		BusyNodes:       s.busyNodes,
+		LostWork:        s.lostWork,
+		PromiseSum:      s.promiseSum,
+		PromisedJobs:    s.promisedJobs,
+	}
+}

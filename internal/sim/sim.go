@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"strconv"
+	"time"
 
 	"probqos/internal/checkpoint"
 	"probqos/internal/cluster"
@@ -88,6 +89,16 @@ type simulator struct {
 	busyNodes  int
 	busyMarkAt units.Time
 	busyAccum  units.Work
+
+	// Instrumentation. The counters below are plain integer bookkeeping and
+	// are maintained unconditionally; the probe itself is only consulted
+	// when non-nil, so an uninstrumented run never reads the wall clock.
+	probe        Probe
+	queueDepth   int
+	runningJobs  int
+	lostWork     units.Work
+	promiseSum   float64
+	promisedJobs int
 }
 
 // Run executes the configured simulation to completion and returns the
@@ -132,6 +143,7 @@ func Run(cfg Config) (*Result, error) {
 		quotePred: pred,
 		ckptPred:  pred,
 		jobs:      make(map[int]*jobState, len(cfg.Workload.Jobs)),
+		probe:     cfg.Probe,
 	}
 	if cfg.BaseRateFloor {
 		if base, err := predict.NewBaseRateFromTrace(cfg.Failures); err == nil {
@@ -209,6 +221,7 @@ func (s *simulator) loop() error {
 			s.scheduler.GC(s.now)
 		}
 
+		t0 := s.phaseStart()
 		var err error
 		switch ev.kind {
 		case KindArrival:
@@ -231,6 +244,10 @@ func (s *simulator) loop() error {
 		if err != nil {
 			return err
 		}
+		if s.probe != nil {
+			s.probe.Phase(PhaseDispatch, time.Since(t0))
+			s.probe.Sample(s.state())
+		}
 	}
 	return nil
 }
@@ -248,16 +265,26 @@ func (s *simulator) stale(ev *event) bool {
 func (s *simulator) onArrival(ev *event) error {
 	js := s.jobs[ev.jobID]
 	duration := plannedDuration(js.job.PlanExec(), s.cfg.Checkpoint)
+	t0 := s.phaseStart()
 	quote, offers, err := s.negotiator.Negotiate(s.now, js.job.Nodes, duration, s.user)
+	s.phaseEnd(PhaseNegotiate, t0)
 	if err != nil {
 		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
 	}
-	if _, err := s.scheduler.Reserve(js.job.ID, quote.Candidate, duration); err != nil {
+	s.decide(DecisionQuote, js.job.ID, offers)
+	t0 = s.phaseStart()
+	_, err = s.scheduler.Reserve(js.job.ID, quote.Candidate, duration)
+	s.phaseEnd(PhaseSchedule, t0)
+	if err != nil {
 		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
 	}
+	s.decide(DecisionReserve, js.job.ID, 1)
 	js.deadline = quote.Deadline
 	js.promised = quote.Success
 	js.rec.Quotes = offers
+	s.queueDepth++
+	s.promiseSum += quote.Success
+	s.promisedJobs++
 	s.push(&event{time: quote.Candidate.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
 	s.observe(KindArrival, js.job.ID, -1,
 		"deadline="+quote.Deadline.String()+" p="+strconv.FormatFloat(quote.Success, 'f', 3, 64))
@@ -293,6 +320,7 @@ func (s *simulator) onStart(ev *event) error {
 			return err
 		}
 		js.rec.StartSlips++
+		s.decide(DecisionStartSlip, js.job.ID, 1)
 		s.push(&event{time: retry, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
 		s.observe(KindStart, js.job.ID, -1, "slip to "+retry.String())
 		return nil
@@ -302,6 +330,8 @@ func (s *simulator) onStart(ev *event) error {
 		return err
 	}
 	s.accountOccupancy(len(r.Nodes))
+	s.queueDepth--
+	s.runningJobs++
 	js.running = true
 	js.nodes = r.Nodes
 	js.attemptStart = s.now
@@ -363,6 +393,7 @@ func (s *simulator) onCheckpointRequest(ev *event) error {
 	rem := js.remaining()
 	estSkip := s.now.Add(plannedDuration(rem, p))
 	estPerform := estSkip.Add(p.Overhead)
+	t0 := s.phaseStart()
 	req := checkpoint.Request{
 		Now:                s.now,
 		PFail:              s.ckptPred.PFail(js.nodes, s.now, s.now.Add(p.Interval+p.Overhead)),
@@ -373,17 +404,22 @@ func (s *simulator) onCheckpointRequest(ev *event) error {
 		EstFinishIfSkip:    estSkip,
 	}
 	perform := s.cfg.Policy.ShouldCheckpoint(req)
-	if perform && s.cfg.DeadlineSkip && estPerform.After(js.deadline) && !estSkip.After(js.deadline) {
+	deadlineSkip := perform && s.cfg.DeadlineSkip && estPerform.After(js.deadline) && !estSkip.After(js.deadline)
+	s.phaseEnd(PhaseCheckpoint, t0)
+	if deadlineSkip {
 		perform = false
 		js.rec.DeadlineSkips++
+		s.decide(DecisionCheckpointDeadlineSkip, js.job.ID, 1)
 	}
 	if perform {
+		s.decide(DecisionCheckpointGrant, js.job.ID, 1)
 		js.inCheckpoint = true
 		js.ckptStarted = s.now
 		s.push(&event{time: s.now.Add(p.Overhead), kind: KindCheckpointFinish, jobID: js.job.ID, epoch: js.epoch})
 		s.observe(KindCheckpointRequest, js.job.ID, -1, "perform d="+strconv.Itoa(req.AtRiskIntervals))
 		return nil
 	}
+	s.decide(DecisionCheckpointSkip, js.job.ID, 1)
 	js.rec.CheckpointsSkipped++
 	js.skippedSince++
 	s.observe(KindCheckpointRequest, js.job.ID, -1, "skip d="+strconv.Itoa(req.AtRiskIntervals))
@@ -428,6 +464,7 @@ func (s *simulator) onFinish(ev *event) error {
 		return err
 	}
 	s.accountOccupancy(-len(js.nodes))
+	s.runningJobs--
 	s.scheduler.CompleteEarly(js.job.ID, s.now)
 	s.observeWidth(KindFinish, js.job.ID, -1, len(js.nodes), "met="+strconv.FormatBool(js.rec.MetDeadline))
 	return nil
@@ -447,10 +484,14 @@ func (s *simulator) onFailure(ev *event) error {
 		frec.LostWork = lost
 		js.rec.LostWork += lost
 		js.rec.FailuresSuffered++
+		s.lostWork += lost
+		s.decide(DecisionFailureKill, occ, 1)
 		if err := s.cluster.Release(js.nodes, occ); err != nil {
 			return err
 		}
 		s.accountOccupancy(-len(js.nodes))
+		s.runningJobs--
+		s.queueDepth++
 		s.scheduler.Release(occ)
 		js.epoch++
 		js.running = false
@@ -459,6 +500,8 @@ func (s *simulator) onFailure(ev *event) error {
 		if err := s.requeue(js); err != nil {
 			return err
 		}
+	} else {
+		s.decide(DecisionFailureIdle, 0, 1)
 	}
 	s.res.Failures = append(s.res.Failures, frec)
 	width := 0
@@ -478,13 +521,18 @@ func (s *simulator) onFailure(ev *event) error {
 // hole it fits.
 func (s *simulator) requeue(js *jobState) error {
 	duration := plannedDuration(js.job.PlanExec()-js.doneWork, s.cfg.Checkpoint)
+	t0 := s.phaseStart()
 	c, ok := s.scheduler.EarliestCandidate(s.now, js.job.Nodes, duration)
 	if !ok {
+		s.phaseEnd(PhaseSchedule, t0)
 		return fmt.Errorf("sim: job %d cannot be rescheduled after failure", js.job.ID)
 	}
-	if _, err := s.scheduler.Reserve(js.job.ID, c, duration); err != nil {
+	_, err := s.scheduler.Reserve(js.job.ID, c, duration)
+	s.phaseEnd(PhaseSchedule, t0)
+	if err != nil {
 		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
 	}
+	s.decide(DecisionBackfill, js.job.ID, 1)
 	s.push(&event{time: c.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"probqos/internal/health"
 	"probqos/internal/metrics"
 	"probqos/internal/negotiate"
+	"probqos/internal/obs"
 	"probqos/internal/predict"
 	"probqos/internal/sim"
 	"probqos/internal/units"
@@ -292,3 +293,49 @@ func DefaultCheckpointParams() CheckpointParams { return checkpoint.DefaultParam
 // NewJournalWriter returns an Observer that records the simulation journal
 // as JSON lines on w; call Close when the run finishes.
 func NewJournalWriter(w io.Writer) *eventlog.Writer { return eventlog.NewWriter(w) }
+
+// Observability types: the internal/obs instrumentation layer.
+type (
+	// MetricsRegistry is a concurrency-safe registry of counters, gauges,
+	// and fixed-bucket histograms with Prometheus/JSON exposition.
+	MetricsRegistry = obs.Registry
+	// MetricLabels attach dimensions to one instrument of a metric family.
+	MetricLabels = obs.Labels
+	// Instrument samples cluster state, meters decisions, and profiles the
+	// simulator's hot phases; assign to SimConfig.Probe (and Observer).
+	Instrument = obs.Instrument
+	// MetricsServer serves /metrics, /healthz, and /snapshot over HTTP.
+	MetricsServer = obs.Server
+	// PhaseStat is one hot phase's wall-clock bill.
+	PhaseStat = obs.PhaseStat
+	// SeriesPoint is one sampled cluster state on the simulation clock.
+	SeriesPoint = obs.Point
+	// SimProbe receives the simulator's instrumentation callbacks.
+	SimProbe = sim.Probe
+	// SimState is the cluster-level snapshot handed to a probe.
+	SimState = sim.State
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewInstrument builds the standard simulation instrumentation over a
+// registry: live metrics plus a cluster-state time series sampled every
+// cadence of simulation time (<= 0 means the 15-minute default).
+func NewInstrument(reg *MetricsRegistry, cadence Duration) *Instrument {
+	return obs.NewInstrument(reg, cadence)
+}
+
+// NewMetricsServer builds the live observation endpoint over a registry;
+// with a non-nil instrument, /snapshot also carries the sampled series and
+// the phase profile. Call Start to bind and Close to stop.
+func NewMetricsServer(reg *MetricsRegistry, ins *Instrument) *MetricsServer {
+	if ins == nil {
+		return obs.NewServer(reg, nil, nil)
+	}
+	return obs.NewServer(reg, ins.Sampler, ins.Profiler)
+}
+
+// MultiObserver fans the simulation journal out to several observers; nil
+// entries are skipped.
+func MultiObserver(o ...Observer) Observer { return sim.MultiObserver(o...) }
