@@ -1,0 +1,176 @@
+// Command qosctl is the command-line client for qosd: each subcommand is
+// one move in the §5 negotiation dialog.
+//
+// Usage:
+//
+//	qosctl [-addr host:port] quote -nodes N -exec SECONDS [-max K]
+//	qosctl [-addr host:port] accept -session ID -offer K
+//	qosctl [-addr host:port] job ID
+//	qosctl [-addr host:port] jobs
+//	qosctl [-addr host:port] state
+//	qosctl [-addr host:port] fault -node N [-at T] [-after SECONDS]
+//	qosctl [-addr host:port] advance [-to T] [-by SECONDS]
+//
+// Responses are printed as indented JSON; non-2xx responses become errors
+// carrying the server's message.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("qosctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9120", "qosd address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: quote, accept, job, jobs, state, fault, or advance")
+	}
+	c := client{base: "http://" + *addr, out: out}
+	cmd, args := rest[0], rest[1:]
+	switch cmd {
+	case "quote":
+		return c.quote(args)
+	case "accept":
+		return c.accept(args)
+	case "job":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: qosctl job ID")
+		}
+		return c.call("GET", "/v1/jobs/"+args[0], nil)
+	case "jobs":
+		return c.call("GET", "/v1/jobs", nil)
+	case "state":
+		return c.call("GET", "/v1/state", nil)
+	case "fault":
+		return c.fault(args)
+	case "advance":
+		return c.advance(args)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+type client struct {
+	base string
+	out  io.Writer
+}
+
+func (c client) quote(args []string) error {
+	fs := flag.NewFlagSet("quote", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 0, "job size in nodes")
+	exec := fs.Int64("exec", 0, "execution time in seconds, excluding checkpoints")
+	max := fs.Int("max", 0, "cap on offers returned (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body := map[string]any{"nodes": *nodes, "exec_seconds": *exec}
+	if *max > 0 {
+		body["max_quotes"] = *max
+	}
+	return c.call("POST", "/v1/quote", body)
+}
+
+func (c client) accept(args []string) error {
+	fs := flag.NewFlagSet("accept", flag.ContinueOnError)
+	session := fs.String("session", "", "session id from the quote response")
+	offer := fs.Int("offer", 1, "1-based rank of the accepted offer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/accept", map[string]any{"session_id": *session, "offer": *offer})
+}
+
+func (c client) fault(args []string) error {
+	fs := flag.NewFlagSet("fault", flag.ContinueOnError)
+	node := fs.Int("node", 0, "node to fail")
+	at := fs.Int64("at", 0, "absolute virtual instant of the failure")
+	after := fs.Int64("after", 0, "failure delay in virtual seconds from now")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body := map[string]any{"node": *node}
+	if *at > 0 {
+		body["at"] = *at
+	}
+	if *after > 0 {
+		body["after_seconds"] = *after
+	}
+	return c.call("POST", "/v1/faults", body)
+}
+
+func (c client) advance(args []string) error {
+	fs := flag.NewFlagSet("advance", flag.ContinueOnError)
+	to := fs.Int64("to", 0, "absolute virtual instant to advance to")
+	by := fs.Int64("by", 0, "virtual seconds to advance by")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body := map[string]any{}
+	if *to > 0 {
+		body["to"] = *to
+	}
+	if *by > 0 {
+		body["by_seconds"] = *by
+	}
+	return c.call("POST", "/v1/advance", body)
+}
+
+// call performs one API request and pretty-prints the JSON response.
+func (c client) call(method, path string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(data), "", "  "); err != nil {
+		buf.Write(data)
+	}
+	fmt.Fprintln(c.out, buf.String())
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"probqos"
+)
+
+// startServer runs a qosd service on a loopback port and returns its
+// address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	trace, err := probqos.NewFailureTrace(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := probqos.NewQoSService(probqos.NewQoSServiceConfig(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	addr, err := svc.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestDialogRoundTrip(t *testing.T) {
+	addr := startServer(t)
+
+	var out bytes.Buffer
+	if err := run(&out, []string{"-addr", addr, "quote", "-nodes", "2", "-exec", "600"}); err != nil {
+		t.Fatalf("quote: %v", err)
+	}
+	var quote struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &quote); err != nil || quote.SessionID == "" {
+		t.Fatalf("quote output %q: %v", out.String(), err)
+	}
+
+	out.Reset()
+	if err := run(&out, []string{"-addr", addr, "accept", "-session", quote.SessionID, "-offer", "1"}); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	var acc struct {
+		JobID int `json:"job_id"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &acc); err != nil || acc.JobID == 0 {
+		t.Fatalf("accept output %q: %v", out.String(), err)
+	}
+
+	out.Reset()
+	if err := run(&out, []string{"-addr", addr, "advance", "-by", "86400"}); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	out.Reset()
+	if err := run(&out, []string{"-addr", addr, "job", "1"}); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if !strings.Contains(out.String(), `"completed"`) {
+		t.Fatalf("job output lacks completed state: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run(&out, []string{"-addr", addr, "state"}); err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if !strings.Contains(out.String(), `"completed": 1`) {
+		t.Fatalf("state output: %s", out.String())
+	}
+}
+
+func TestServerErrorsSurface(t *testing.T) {
+	addr := startServer(t)
+	err := run(&bytes.Buffer{}, []string{"-addr", addr, "accept", "-session", "q-404", "-offer", "1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown or expired") {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"job"}); err == nil {
+		t.Error("job without id accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter collects run's output under a lock and signals the first
+// write, which carries the bound address.
+type syncWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	first chan struct{}
+	once  sync.Once
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(p)
+	w.once.Do(func() { close(w.first) })
+	return n, err
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestRunServesAndDrains(t *testing.T) {
+	out := &syncWriter{first: make(chan struct{})}
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		errs <- run(out, []string{"-addr", "127.0.0.1:0", "-nodes", "8", "-seed", "3"}, stop)
+	}()
+
+	select {
+	case <-out.first:
+	case err := <-errs:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("qosd never announced its address")
+	}
+	line := strings.SplitN(out.String(), "\n", 2)[0]
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	base := "http://" + fields[3]
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %s", resp.Status)
+	}
+
+	resp, err = http.Post(base+"/v1/quote", "application/json",
+		strings.NewReader(`{"nodes": 2, "exec_seconds": 600}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quote struct {
+		SessionID string `json:"session_id"`
+		Quotes    []struct {
+			Offer int `json:"offer"`
+		} `json:"quotes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&quote); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || quote.SessionID == "" || len(quote.Quotes) == 0 {
+		t.Fatalf("quote over HTTP failed: %s %+v", resp.Status, quote)
+	}
+
+	resp, err = http.Post(base+"/v1/accept", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"session_id": %q, "offer": 1}`, quote.SessionID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept over HTTP: %s", resp.Status)
+	}
+
+	close(stop)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("qosd did not drain after stop")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-nodes", "0"}, nil); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"-failures", "/does/not/exist"}, nil); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -239,6 +239,23 @@ func (e *Env) noteDone() {
 	}
 }
 
+// noteSkipped removes n abandoned points from the progress tally and
+// notifies Progress, if set. Work dropped after an error is no longer
+// queued; leaving it counted would overstate the remaining work — and
+// count it twice if a later Prefetch queues it again.
+func (e *Env) noteSkipped(n int) {
+	if n == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.progressQueued -= n
+	done, queued, cb := e.progressDone, e.progressQueued, e.Progress
+	e.mu.Unlock()
+	if cb != nil {
+		cb(done, queued)
+	}
+}
+
 // Point runs (or recalls) one simulation at (log, a, u) under the named
 // variant and returns its metrics.
 func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, error) {
@@ -343,15 +360,31 @@ func (e *Env) Prefetch(specs []PointSpec) error {
 		work     = make(chan pointKey)
 		errOnce  sync.Once
 		firstErr error
+		aborted  = make(chan struct{})
 	)
+	abort := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(aborted)
+		})
+	}
 	for i := 0; i < e.workers(); i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for key := range work {
+				select {
+				case <-aborted:
+					// A key handed over in the same select round as the
+					// abort: drop it uncomputed.
+					e.noteSkipped(1)
+					continue
+				default:
+				}
 				r, err := e.compute(key)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					abort(err)
+					e.noteSkipped(1)
 					continue
 				}
 				e.mu.Lock()
@@ -361,9 +394,28 @@ func (e *Env) Prefetch(specs []PointSpec) error {
 			}
 		}()
 	}
-	for _, key := range todo {
-		work <- key
+	dispatched := len(todo)
+dispatch:
+	for i, key := range todo {
+		// The non-blocking check makes the cutoff deterministic once the
+		// abort lands; the blocking select alone could keep picking the
+		// send branch while workers drain.
+		select {
+		case <-aborted:
+			dispatched = i
+			break dispatch
+		default:
+		}
+		select {
+		case <-aborted:
+			dispatched = i
+			break dispatch
+		case work <- key:
+		}
 	}
+	// Everything not handed out is abandoned; each key leaves the progress
+	// tally exactly once (here, or in the worker that received it).
+	e.noteSkipped(len(todo) - dispatched)
 	close(work)
 	wg.Wait()
 	return firstErr

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"probqos/internal/sim"
+)
+
+// TestPrefetchAbortsAfterFirstError pins the documented contract: the
+// first error aborts remaining work. A failing variant counts its compute
+// calls; with one worker and four points, only the first may run.
+func TestPrefetchAbortsAfterFirstError(t *testing.T) {
+	const name = "test-failing-variant"
+	var calls atomic.Int32
+	variants[name] = func(c *sim.Config) {
+		calls.Add(1)
+		c.Accuracy = 7 // invalid on purpose: sim.Run must reject the point
+	}
+	t.Cleanup(func() { delete(variants, name) })
+
+	e := testEnv()
+	e.Workers = 1
+	specs := []PointSpec{
+		{Log: "NASA", A: 0.1, U: 0.5, Variant: name},
+		{Log: "NASA", A: 0.2, U: 0.5, Variant: name},
+		{Log: "NASA", A: 0.3, U: 0.5, Variant: name},
+		{Log: "NASA", A: 0.4, U: 0.5, Variant: name},
+	}
+	if err := e.Prefetch(specs); err == nil {
+		t.Fatal("Prefetch returned nil for a failing variant")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d points, want 1 (work handed out after the first error)", n)
+	}
+
+	// Every abandoned point must leave the progress tally, so nothing is
+	// counted as forever-pending — or counted again on retry.
+	e.mu.Lock()
+	done, queued := e.progressDone, e.progressQueued
+	e.mu.Unlock()
+	if done != 0 || queued != 0 {
+		t.Errorf("progress done=%d queued=%d after abort, want 0/0", done, queued)
+	}
+
+	// A retry re-queues the same (uncached) points; the tally must balance
+	// again rather than accumulate the abandoned first round.
+	calls.Store(0)
+	if err := e.Prefetch(specs); err == nil {
+		t.Fatal("second Prefetch returned nil")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("retry ran %d points, want 1", n)
+	}
+	e.mu.Lock()
+	done, queued = e.progressDone, e.progressQueued
+	e.mu.Unlock()
+	if done != 0 || queued != 0 {
+		t.Errorf("progress done=%d queued=%d after retry, want 0/0", done, queued)
+	}
+}
+
+// TestPrefetchComputesAllWithoutError guards the other side: a clean run
+// still computes and caches every point.
+func TestPrefetchComputesAllWithoutError(t *testing.T) {
+	const name = "test-counting-variant"
+	var calls atomic.Int32
+	variants[name] = func(c *sim.Config) { calls.Add(1) }
+	t.Cleanup(func() { delete(variants, name) })
+
+	e := testEnv()
+	e.Workers = 2
+	specs := []PointSpec{
+		{Log: "NASA", A: 0.1, U: 0.5, Variant: name},
+		{Log: "NASA", A: 0.9, U: 0.5, Variant: name},
+	}
+	if err := e.Prefetch(specs); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("computed %d points, want 2", n)
+	}
+	e.mu.Lock()
+	done, queued := e.progressDone, e.progressQueued
+	e.mu.Unlock()
+	if done != 2 || queued != 2 {
+		t.Errorf("progress done=%d queued=%d, want 2/2", done, queued)
+	}
+}

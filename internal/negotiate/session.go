@@ -1,0 +1,101 @@
+package negotiate
+
+import (
+	"fmt"
+
+	"probqos/internal/units"
+)
+
+// Session is one open quote dialog: the offers extended to a user who has
+// not yet accepted or walked away. In the batch simulator the dialog is a
+// single synchronous Negotiate call; the online service splits it into
+// quote and accept requests, so the state between them — which offers were
+// made, for what request, until when they stand — lives here instead of in
+// the simulation loop.
+type Session struct {
+	// ID names the session in accept requests.
+	ID string
+	// Size and Exec restate the quoted request: job size in nodes and
+	// checkpoint-free execution time.
+	Size int
+	Exec units.Duration
+	// Created and Expires bound the session's validity on the virtual
+	// clock. An offer accepted after Expires is refused: the cluster state
+	// it priced has moved on.
+	Created units.Time
+	Expires units.Time
+	// Quotes are the offers, earliest deadline first.
+	Quotes []Quote
+}
+
+// Book tracks open sessions for an online negotiation service. It is not
+// safe for concurrent use: the owning state-machine goroutine serializes
+// access, like every other piece of scheduler state.
+type Book struct {
+	ttl     units.Duration
+	seq     int64
+	open    map[string]*Session
+	expired int
+}
+
+// NewBook creates a session book whose sessions stand for ttl of virtual
+// time after opening.
+func NewBook(ttl units.Duration) (*Book, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("negotiate: session TTL must be positive, got %v", ttl)
+	}
+	return &Book{ttl: ttl, open: make(map[string]*Session)}, nil
+}
+
+// Open records a new session over the given quotes and returns it.
+func (b *Book) Open(now units.Time, size int, exec units.Duration, quotes []Quote) *Session {
+	b.seq++
+	s := &Session{
+		ID:      fmt.Sprintf("q-%d", b.seq),
+		Size:    size,
+		Exec:    exec,
+		Created: now,
+		Expires: now.Add(b.ttl),
+		Quotes:  append([]Quote(nil), quotes...),
+	}
+	b.open[s.ID] = s
+	return s
+}
+
+// Take removes and returns the session, consuming it: an accept settles
+// the dialog whether or not the reservation then succeeds, and a failed
+// reservation means the quotes are stale anyway. Sessions past their
+// expiry are dropped and not returned.
+func (b *Book) Take(id string, now units.Time) (*Session, bool) {
+	s, ok := b.open[id]
+	if !ok {
+		return nil, false
+	}
+	delete(b.open, id)
+	if now.After(s.Expires) {
+		b.expired++
+		return nil, false
+	}
+	return s, true
+}
+
+// Sweep drops every session past its expiry and returns how many it
+// removed. The service calls it as the virtual clock advances so the book
+// does not accumulate abandoned dialogs.
+func (b *Book) Sweep(now units.Time) int {
+	dropped := 0
+	for id, s := range b.open {
+		if now.After(s.Expires) {
+			delete(b.open, id)
+			dropped++
+		}
+	}
+	b.expired += dropped
+	return dropped
+}
+
+// Len returns the number of open sessions.
+func (b *Book) Len() int { return len(b.open) }
+
+// Expired returns the cumulative count of sessions that lapsed unaccepted.
+func (b *Book) Expired() int { return b.expired }

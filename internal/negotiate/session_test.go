@@ -1,0 +1,97 @@
+package negotiate
+
+import (
+	"testing"
+
+	"probqos/internal/units"
+)
+
+func TestBookOpenTake(t *testing.T) {
+	b, err := NewBook(units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []Quote{{Deadline: 100, Success: 0.9}}
+	s := b.Open(10, 4, 600, q)
+	if s.ID == "" || s.Size != 4 || s.Exec != 600 {
+		t.Fatalf("bad session: %+v", s)
+	}
+	if s.Expires != s.Created.Add(units.Hour) {
+		t.Errorf("expiry %v, want created+1h", s.Expires)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+
+	got, ok := b.Take(s.ID, 20)
+	if !ok || got.ID != s.ID || len(got.Quotes) != 1 || got.Quotes[0].Success != 0.9 {
+		t.Fatalf("Take = %+v, %v", got, ok)
+	}
+	if b.Len() != 0 {
+		t.Errorf("session not consumed, Len = %d", b.Len())
+	}
+	if _, ok := b.Take(s.ID, 20); ok {
+		t.Error("second Take of the same session succeeded")
+	}
+}
+
+func TestBookTakeUnknown(t *testing.T) {
+	b, _ := NewBook(units.Hour)
+	if _, ok := b.Take("q-999", 0); ok {
+		t.Error("unknown session returned")
+	}
+}
+
+func TestBookExpiry(t *testing.T) {
+	b, _ := NewBook(units.Minute)
+	s := b.Open(0, 1, 60, nil)
+	// Exactly at expiry the session still stands; one second later it lapses.
+	if _, ok := b.Take(s.ID, s.Expires); !ok {
+		t.Fatal("session refused at its expiry instant")
+	}
+	s = b.Open(0, 1, 60, nil)
+	if _, ok := b.Take(s.ID, s.Expires.Add(1)); ok {
+		t.Fatal("expired session accepted")
+	}
+	if b.Expired() != 1 {
+		t.Errorf("Expired = %d, want 1", b.Expired())
+	}
+}
+
+func TestBookSweep(t *testing.T) {
+	b, _ := NewBook(units.Minute)
+	b.Open(0, 1, 60, nil)
+	b.Open(0, 2, 60, nil)
+	live := b.Open(120, 3, 60, nil)
+	if n := b.Sweep(90); n != 2 {
+		t.Fatalf("Sweep dropped %d, want 2", n)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after sweep, want 1", b.Len())
+	}
+	if _, ok := b.Take(live.ID, 121); !ok {
+		t.Error("live session lost in sweep")
+	}
+	if b.Expired() != 2 {
+		t.Errorf("Expired = %d, want 2", b.Expired())
+	}
+}
+
+func TestBookQuotesCopied(t *testing.T) {
+	b, _ := NewBook(units.Hour)
+	src := []Quote{{Success: 0.5}}
+	s := b.Open(0, 1, 60, src)
+	src[0].Success = 0.1
+	if s.Quotes[0].Success != 0.5 {
+		t.Error("session shares the caller's quote slice")
+	}
+}
+
+func TestNewBookRejectsBadTTL(t *testing.T) {
+	if _, err := NewBook(0); err == nil {
+		t.Error("TTL 0 accepted")
+	}
+	if _, err := NewBook(-1); err == nil {
+		t.Error("negative TTL accepted")
+	}
+}

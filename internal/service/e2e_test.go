@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/sim"
+)
+
+// TestEndToEndConcurrentNegotiation is the qosd acceptance test: a real
+// loopback listener, many concurrent quote→accept→status dialogs racing a
+// chaos goroutine that injects faults and advances the virtual clock.
+// Every accepted promise must reach a terminal state, and the /metrics
+// totals must reconcile with what the clients observed. Run under -race
+// this also proves the state-machine serialization.
+func TestEndToEndConcurrentNegotiation(t *testing.T) {
+	const (
+		sessions = 48 // acceptance floor is 32
+		nodes    = 64
+	)
+	tr, err := failure.NewTrace(nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tr)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	addr, err := svc.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any, out any) (int, error) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Chaos: future faults land on scattered nodes and the clock creeps
+	// forward under the negotiators' feet, forcing stale-quote conflicts
+	// that the clients must renegotiate through.
+	var (
+		faultsInjected atomic.Int64
+		chaosDone      = make(chan struct{})
+	)
+	go func() {
+		defer close(chaosDone)
+		for i := 0; i < 20; i++ {
+			code, err := post("/v1/faults",
+				map[string]any{"node": (i * 7) % nodes, "after_seconds": 1800 + 600*i}, nil)
+			if err == nil && code == http.StatusAccepted {
+				faultsInjected.Add(1)
+			}
+			post("/v1/advance", map[string]any{"by_seconds": 30}, nil)
+		}
+	}()
+
+	type promise struct {
+		jobID    int
+		deadline int64
+	}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		promises   []promise
+		accepted   atomic.Int64
+		quotesSeen atomic.Int64
+		conflicts  atomic.Int64
+	)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			size := 1 + i%8
+			exec := 600 + 300*(i%10)
+			for attempt := 0; attempt < 200; attempt++ {
+				var quote struct {
+					SessionID string `json:"session_id"`
+					Quotes    []struct {
+						Deadline int64   `json:"deadline"`
+						Success  float64 `json:"success"`
+					} `json:"quotes"`
+				}
+				code, err := post("/v1/quote",
+					map[string]any{"nodes": size, "exec_seconds": exec}, &quote)
+				if err != nil {
+					t.Errorf("session %d: quote: %v", i, err)
+					return
+				}
+				if code != http.StatusOK || quote.SessionID == "" {
+					continue
+				}
+				quotesSeen.Add(int64(len(quote.Quotes)))
+				// Users with higher indices are pickier: they take a later,
+				// safer offer when one is on the table (the §5 dialog's U).
+				offer := 1 + i%len(quote.Quotes)
+				var acc struct {
+					JobID    int   `json:"job_id"`
+					Deadline int64 `json:"deadline"`
+				}
+				code, err = post("/v1/accept",
+					map[string]any{"session_id": quote.SessionID, "offer": offer}, &acc)
+				if err != nil {
+					t.Errorf("session %d: accept: %v", i, err)
+					return
+				}
+				switch code {
+				case http.StatusOK:
+					accepted.Add(1)
+					mu.Lock()
+					promises = append(promises, promise{acc.JobID, acc.Deadline})
+					mu.Unlock()
+					return
+				case http.StatusConflict, http.StatusNotFound:
+					// The clock moved past the offer or the session lapsed:
+					// renegotiate, as the protocol prescribes.
+					conflicts.Add(1)
+					continue
+				default:
+					t.Errorf("session %d: accept returned %d", i, code)
+					return
+				}
+			}
+			t.Errorf("session %d: no acceptance in 200 attempts", i)
+		}(i)
+	}
+	wg.Wait()
+	<-chaosDone
+	if t.Failed() {
+		return
+	}
+	if len(promises) != sessions {
+		t.Fatalf("%d promises from %d sessions", len(promises), sessions)
+	}
+
+	// Drive the clock until every promise resolves; each accepted job must
+	// land on completed or missed, never limbo.
+	var horizon int64
+	for _, p := range promises {
+		if p.deadline > horizon {
+			horizon = p.deadline
+		}
+	}
+	if code, err := post("/v1/advance", map[string]any{"to": horizon + 7200}, nil); err != nil || code != http.StatusOK {
+		t.Fatalf("final advance: code %d, err %v", code, err)
+	}
+
+	completed, missed := 0, 0
+	for _, p := range promises {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, p.jobID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st sim.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.State {
+		case sim.JobCompleted:
+			completed++
+		case sim.JobMissed:
+			missed++
+		default:
+			t.Errorf("job %d stuck in %v past the horizon", p.jobID, st.State)
+		}
+	}
+	if completed+missed != sessions {
+		t.Errorf("%d completed + %d missed != %d accepted", completed, missed, sessions)
+	}
+	if completed == 0 {
+		t.Error("no job completed; the cluster cannot be that broken")
+	}
+
+	// The server's own accounting must agree with the clients'.
+	var state stateResponse
+	resp, err := http.Get(base + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if state.Jobs != sessions || state.Completed != completed || state.Missed != missed {
+		t.Errorf("/v1/state says jobs=%d completed=%d missed=%d; clients saw %d/%d/%d",
+			state.Jobs, state.Completed, state.Missed, sessions, completed, missed)
+	}
+
+	// And /metrics must reconcile with both.
+	metrics := scrapeMetrics(t, base)
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{`qosd_accepts_total{outcome="accepted"}`, float64(accepted.Load())},
+		{`qosd_accepts_total{outcome="conflict"}`, float64(conflicts.Load())},
+		{`qosd_faults_injected_total`, float64(faultsInjected.Load())},
+		{`qosd_jobs{state="completed"}`, float64(completed)},
+		{`qosd_jobs{state="missed"}`, float64(missed)},
+		{`qosd_quotes_issued_total`, float64(quotesSeen.Load())},
+	}
+	for _, c := range checks {
+		got, ok := metrics[c.name]
+		if !ok || got != c.want {
+			t.Errorf("metric %s = %v (present %v), want %v", c.name, got, ok, c.want)
+		}
+	}
+	// Request totals: every quote/accept/fault/advance/status call above
+	// went through the instrumented mux exactly once.
+	var requests float64
+	for name, v := range metrics {
+		if strings.HasPrefix(name, "qosd_requests_total{") {
+			requests += v
+		}
+	}
+	if sessionsOpened := metrics["qosd_sessions_opened_total"]; requests < sessionsOpened+float64(accepted.Load()) {
+		t.Errorf("request total %v below sessions %v + accepts %v", requests, sessionsOpened, accepted.Load())
+	}
+}
+
+// scrapeMetrics fetches /metrics and returns sample values keyed by
+// "name{labels}" exactly as exposed.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[idx+1:], "%g", &v); err == nil {
+			out[line[:idx]] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package service
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecodeQuoteRequest hammers the first parser qosd exposes to the
+// network. The decoder must never panic, and every request it does accept
+// must satisfy the documented invariants — the handler builds jobs and
+// reservation walks straight from these fields.
+func FuzzDecodeQuoteRequest(f *testing.F) {
+	f.Add([]byte(`{"nodes": 4, "exec_seconds": 3600}`))
+	f.Add([]byte(`{"nodes": 1, "exec_seconds": 1, "max_quotes": 3}`))
+	f.Add([]byte(`{"nodes": 128, "exec_seconds": 86400, "max_quotes": 32}`))
+	f.Add([]byte(`{"nodes": 0, "exec_seconds": 0}`))
+	f.Add([]byte(`{"nodes": -1, "exec_seconds": -9223372036854775808}`))
+	f.Add([]byte(`{"nodes": 1e9, "exec_seconds": 1e300}`))
+	f.Add([]byte(`{"nodes": 1, "exec_seconds": 60, "bogus": true}`))
+	f.Add([]byte(`{"nodes": 1, "exec_seconds": 60} {"again": 1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte("{\"nodes\":1,\"exec_seconds\":60}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := decodeQuoteRequest(data)
+		if err != nil {
+			return
+		}
+		if q.Nodes <= 0 || q.ExecSeconds <= 0 || q.MaxQuotes < 0 {
+			t.Fatalf("accepted out-of-range request %+v from %q", q, data)
+		}
+		if !utf8.Valid(data) {
+			// encoding/json replaces invalid UTF-8 rather than erroring;
+			// the decoded ints are still range-checked, so this is fine —
+			// the assertion documents that acceptance is intentional.
+			t.Logf("accepted non-UTF-8 input %q", data)
+		}
+	})
+}

@@ -1,0 +1,484 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"probqos/internal/obs"
+	"probqos/internal/sim"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// Wire limits. Request bodies are tiny JSON objects; anything bigger is a
+// client bug or abuse.
+const (
+	maxBodyBytes = 1 << 16
+	maxQuotesCap = 32
+)
+
+// quoteRequest asks for offers: "when could a job of this shape finish,
+// and with what probability?" (§3.5, the user's opening move).
+type quoteRequest struct {
+	// Nodes is the job size n_j.
+	Nodes int `json:"nodes"`
+	// ExecSeconds is the checkpoint-free execution time e_j.
+	ExecSeconds int64 `json:"exec_seconds"`
+	// MaxQuotes optionally caps the offers returned (default and ceiling
+	// come from the service config).
+	MaxQuotes int `json:"max_quotes,omitempty"`
+}
+
+// validate applies the wire-level sanity checks shared by the handler and
+// the fuzz target.
+func (q quoteRequest) validate() error {
+	switch {
+	case q.Nodes <= 0:
+		return fmt.Errorf("nodes must be positive, got %d", q.Nodes)
+	case q.ExecSeconds <= 0:
+		return fmt.Errorf("exec_seconds must be positive, got %d", q.ExecSeconds)
+	case q.MaxQuotes < 0:
+		return fmt.Errorf("max_quotes must be non-negative, got %d", q.MaxQuotes)
+	}
+	return nil
+}
+
+// decodeQuoteRequest strictly parses a quote request body: unknown fields,
+// trailing data, and out-of-range values are all errors. It is a standalone
+// function so the fuzz target can drive it directly.
+func decodeQuoteRequest(data []byte) (quoteRequest, error) {
+	var q quoteRequest
+	if err := decodeStrict(data, &q); err != nil {
+		return quoteRequest{}, err
+	}
+	if err := q.validate(); err != nil {
+		return quoteRequest{}, err
+	}
+	return q, nil
+}
+
+// decodeStrict unmarshals one JSON value into v, rejecting unknown fields
+// and trailing content.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// wireQuote is one offer as it appears on the wire. The candidate node set
+// stays server-side: it is scheduler internals, and echoing it would invite
+// clients to depend on placement.
+type wireQuote struct {
+	// Offer is the 1-based rank to pass back in an accept request.
+	Offer    int        `json:"offer"`
+	Start    units.Time `json:"start"`
+	Deadline units.Time `json:"deadline"`
+	Success  float64    `json:"success"`
+}
+
+type quoteResponse struct {
+	SessionID string      `json:"session_id,omitempty"`
+	Now       units.Time  `json:"now"`
+	Expires   units.Time  `json:"expires,omitempty"`
+	Quotes    []wireQuote `json:"quotes"`
+}
+
+type acceptRequest struct {
+	SessionID string `json:"session_id"`
+	// Offer is the 1-based rank of the accepted quote.
+	Offer int `json:"offer"`
+}
+
+type acceptResponse struct {
+	JobID    int        `json:"job_id"`
+	Start    units.Time `json:"start"`
+	Deadline units.Time `json:"deadline"`
+	Promised float64    `json:"promised"`
+}
+
+type faultRequest struct {
+	Node int `json:"node"`
+	// At schedules the failure at an absolute virtual instant; AfterSeconds
+	// offsets from now. Zero values mean "fail now".
+	At           units.Time `json:"at,omitempty"`
+	AfterSeconds int64      `json:"after_seconds,omitempty"`
+}
+
+type advanceRequest struct {
+	// To is an absolute virtual instant; BySeconds offsets from now.
+	// Exactly one must be set.
+	To        units.Time `json:"to,omitempty"`
+	BySeconds int64      `json:"by_seconds,omitempty"`
+}
+
+type stateResponse struct {
+	sim.Stats
+	OpenSessions    int `json:"open_sessions"`
+	ExpiredSessions int `json:"expired_sessions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the full qosd API mux, with the obs endpoints
+// (/metrics, /healthz, /snapshot) mounted alongside /v1.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.NewServer(s.reg, nil, nil).Handler())
+	mux.HandleFunc("POST /v1/quote", s.instrumented("quote", s.handleQuote))
+	mux.HandleFunc("POST /v1/accept", s.instrumented("accept", s.handleAccept))
+	mux.HandleFunc("GET /v1/jobs", s.instrumented("jobs", s.handleJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrumented("job", s.handleJob))
+	mux.HandleFunc("POST /v1/faults", s.instrumented("faults", s.handleFault))
+	mux.HandleFunc("POST /v1/advance", s.instrumented("advance", s.handleAdvance))
+	mux.HandleFunc("GET /v1/state", s.instrumented("state", s.handleState))
+	return mux
+}
+
+// apiHandler produces a status code and a response body (or an error).
+type apiHandler func(r *http.Request) (int, any, error)
+
+// instrumented adapts an apiHandler to http.HandlerFunc, recording the
+// per-endpoint counter and latency histogram and rendering JSON.
+func (s *Service) instrumented(endpoint string, h apiHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		code, body, err := h(r)
+		if err != nil {
+			body = errorResponse{Error: err.Error()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(body)
+		s.observeRequest(endpoint, code, time.Since(begin))
+	}
+}
+
+// readBody slurps a bounded request body.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return data, nil
+}
+
+// errCode maps a state-machine error to its HTTP status.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Service) handleQuote(r *http.Request) (int, any, error) {
+	data, err := readBody(r)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	req, err := decodeQuoteRequest(data)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if req.Nodes > s.cfg.Nodes {
+		return http.StatusUnprocessableEntity, nil,
+			fmt.Errorf("job needs %d nodes but the cluster has %d", req.Nodes, s.cfg.Nodes)
+	}
+	max := s.cfg.MaxQuotes
+	if req.MaxQuotes > 0 && req.MaxQuotes < max {
+		max = req.MaxQuotes
+	}
+
+	var resp quoteResponse
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		quotes := s.eng.Quotes(req.Nodes, units.Duration(req.ExecSeconds), max)
+		resp.Now = s.eng.Now()
+		resp.Quotes = make([]wireQuote, len(quotes))
+		for i, q := range quotes {
+			resp.Quotes[i] = wireQuote{
+				Offer:    i + 1,
+				Start:    q.Candidate.Start,
+				Deadline: q.Deadline,
+				Success:  q.Success,
+			}
+		}
+		if len(quotes) > 0 {
+			sess := s.book.Open(s.eng.Now(), req.Nodes, units.Duration(req.ExecSeconds), quotes)
+			resp.SessionID = sess.ID
+			resp.Expires = sess.Expires
+			s.reg.Counter("qosd_sessions_opened_total", "negotiation sessions opened", nil).Inc()
+			s.reg.Counter("qosd_quotes_issued_total", "individual offers extended", nil).
+				Add(float64(len(quotes)))
+		}
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, resp, nil
+}
+
+func (s *Service) handleAccept(r *http.Request) (int, any, error) {
+	data, err := readBody(r)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	var req acceptRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if req.SessionID == "" {
+		return http.StatusBadRequest, nil, errors.New("session_id is required")
+	}
+
+	var (
+		resp acceptResponse
+		code int
+	)
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			code = http.StatusInternalServerError
+			return
+		}
+		defer s.updateGauges()
+		sess, ok := s.book.Take(req.SessionID, s.eng.Now())
+		if !ok {
+			s.countAccept("expired")
+			code, err = http.StatusNotFound,
+				fmt.Errorf("session %q unknown or expired; request a fresh quote", req.SessionID)
+			return
+		}
+		if req.Offer < 1 || req.Offer > len(sess.Quotes) {
+			s.countAccept("rejected")
+			code, err = http.StatusBadRequest,
+				fmt.Errorf("offer %d outside 1..%d", req.Offer, len(sess.Quotes))
+			return
+		}
+		if s.cfg.MaxOutstanding > 0 && s.eng.Stats().Outstanding() >= s.cfg.MaxOutstanding {
+			s.countAccept("rejected")
+			code, err = http.StatusServiceUnavailable,
+				fmt.Errorf("admission limit reached (%d outstanding jobs); retry later", s.cfg.MaxOutstanding)
+			return
+		}
+		quote := sess.Quotes[req.Offer-1]
+		s.nextJobID++
+		job := workload.Job{
+			ID:      s.nextJobID,
+			Arrival: s.eng.Now(),
+			Nodes:   sess.Size,
+			Exec:    sess.Exec,
+		}
+		if admitErr := s.eng.Admit(job, quote, req.Offer); admitErr != nil {
+			// The quoted slot is gone: the clock moved past its start, or a
+			// competing accept claimed the nodes first. Renegotiation is the
+			// protocol's answer, so this is a conflict, not a server error.
+			s.countAccept("conflict")
+			code, err = http.StatusConflict, fmt.Errorf("quote no longer holds: %w", admitErr)
+			return
+		}
+		s.countAccept("accepted")
+		resp = acceptResponse{
+			JobID:    job.ID,
+			Start:    quote.Candidate.Start,
+			Deadline: quote.Deadline,
+			Promised: quote.Success,
+		}
+		code = http.StatusOK
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return code, nil, err
+	}
+	return code, resp, nil
+}
+
+func (s *Service) handleJob(r *http.Request) (int, any, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return http.StatusBadRequest, nil, fmt.Errorf("job id %q is not an integer", r.PathValue("id"))
+	}
+	var (
+		status sim.JobStatus
+		ok     bool
+	)
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		status, ok = s.eng.Job(id)
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	if !ok {
+		return http.StatusNotFound, nil, fmt.Errorf("no job %d", id)
+	}
+	return http.StatusOK, status, nil
+}
+
+func (s *Service) handleJobs(r *http.Request) (int, any, error) {
+	var (
+		list []sim.JobStatus
+		err  error
+	)
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		ids := s.eng.JobIDs()
+		list = make([]sim.JobStatus, 0, len(ids))
+		for _, id := range ids {
+			if st, ok := s.eng.Job(id); ok {
+				list = append(list, st)
+			}
+		}
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, list, nil
+}
+
+func (s *Service) handleFault(r *http.Request) (int, any, error) {
+	data, err := readBody(r)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	var req faultRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if req.At != 0 && req.AfterSeconds != 0 {
+		return http.StatusBadRequest, nil, errors.New("set at most one of at and after_seconds")
+	}
+	if req.At < 0 || req.AfterSeconds < 0 {
+		return http.StatusBadRequest, nil, errors.New("fault instant must be non-negative")
+	}
+
+	var (
+		at   units.Time
+		code int
+	)
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			code = http.StatusInternalServerError
+			return
+		}
+		at = req.At
+		if req.AfterSeconds > 0 {
+			at = s.eng.Now().Add(units.Duration(req.AfterSeconds))
+		}
+		if at < s.eng.Now() {
+			at = s.eng.Now()
+		}
+		if injErr := s.eng.InjectFailure(req.Node, at); injErr != nil {
+			code, err = http.StatusBadRequest, injErr
+			return
+		}
+		s.reg.Counter("qosd_faults_injected_total", "failures injected via the API", nil).Inc()
+		s.updateGauges()
+		code = http.StatusAccepted
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return code, nil, err
+	}
+	return code, map[string]any{"node": req.Node, "at": at}, nil
+}
+
+func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
+	data, err := readBody(r)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	var req advanceRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if (req.To != 0) == (req.BySeconds != 0) {
+		return http.StatusBadRequest, nil, errors.New("set exactly one of to and by_seconds")
+	}
+	if req.To < 0 || req.BySeconds < 0 {
+		return http.StatusBadRequest, nil, errors.New("cannot advance the clock backwards")
+	}
+
+	var now units.Time
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		target := req.To
+		if req.BySeconds > 0 {
+			target = s.eng.Now().Add(units.Duration(req.BySeconds))
+		}
+		if err = s.advanceTo(target); err != nil {
+			return
+		}
+		s.book.Sweep(s.eng.Now())
+		now = s.eng.Now()
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, map[string]units.Time{"now": now}, nil
+}
+
+func (s *Service) handleState(r *http.Request) (int, any, error) {
+	var (
+		resp stateResponse
+		err  error
+	)
+	doErr := s.do(func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		resp.Stats = s.eng.Stats()
+		resp.OpenSessions = s.book.Len()
+		resp.ExpiredSessions = s.book.Expired()
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, resp, nil
+}

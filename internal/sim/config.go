@@ -109,10 +109,18 @@ func DefaultConfig(w *workload.Log, f *failure.Trace) Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors for a batch run, which needs a
+// non-empty workload to replay.
 func (c Config) Validate() error {
+	return c.validate(true)
+}
+
+// validate checks the configuration. NewEngine passes requireWorkload =
+// false: the online service starts with an empty cluster and admits jobs
+// through the API instead of replaying a log.
+func (c Config) validate(requireWorkload bool) error {
 	switch {
-	case c.Workload == nil || len(c.Workload.Jobs) == 0:
+	case requireWorkload && (c.Workload == nil || len(c.Workload.Jobs) == 0):
 		return fmt.Errorf("sim: config needs a non-empty workload")
 	case c.Failures == nil:
 		return fmt.Errorf("sim: config needs a failure trace (it may be empty)")
@@ -133,6 +141,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Checkpoint.Validate(); err != nil {
 		return err
+	}
+	if c.Workload == nil {
+		return nil
 	}
 	return c.Workload.Validate(c.Nodes)
 }

@@ -173,7 +173,7 @@ func (m multiObserver) Observe(n Note) {
 // phaseStart opens a wall-clock phase timer: it returns time.Now() when a
 // probe is attached and the zero Time otherwise, so the uninstrumented path
 // never reads the clock.
-func (s *simulator) phaseStart() time.Time {
+func (s *Engine) phaseStart() time.Time {
 	if s.probe == nil {
 		return time.Time{}
 	}
@@ -181,7 +181,7 @@ func (s *simulator) phaseStart() time.Time {
 }
 
 // phaseEnd closes a timer opened by phaseStart.
-func (s *simulator) phaseEnd(p Phase, t0 time.Time) {
+func (s *Engine) phaseEnd(p Phase, t0 time.Time) {
 	if s.probe == nil {
 		return
 	}
@@ -189,7 +189,7 @@ func (s *simulator) phaseEnd(p Phase, t0 time.Time) {
 }
 
 // decide reports one decision to the probe, if any.
-func (s *simulator) decide(kind DecisionKind, jobID, n int) {
+func (s *Engine) decide(kind DecisionKind, jobID, n int) {
 	if s.probe == nil {
 		return
 	}
@@ -197,7 +197,7 @@ func (s *simulator) decide(kind DecisionKind, jobID, n int) {
 }
 
 // state snapshots the cluster-level counters for Probe.Sample.
-func (s *simulator) state() State {
+func (s *Engine) state() State {
 	return State{
 		Time:            s.now,
 		EventsProcessed: s.res.EventsProcessed,

@@ -66,8 +66,15 @@ func (js *jobState) rollbackRef() units.Time {
 	return js.attemptStart
 }
 
-// simulator is the run-time state of one simulation.
-type simulator struct {
+// Engine is the live cluster state machine shared by the batch simulator
+// and the online negotiation service (internal/service): a cluster, a
+// scheduler profile, a negotiator, and an event queue advancing on a
+// virtual clock. Run drives an Engine to exhaustion over a workload log;
+// the service drives one incrementally with AdvanceTo, Admit, and
+// InjectFailure. An Engine is not safe for concurrent use: callers must
+// serialize access (the service routes every request through a single
+// state-machine goroutine).
+type Engine struct {
 	cfg       Config
 	cluster   *cluster.Cluster
 	scheduler *sched.Scheduler
@@ -78,11 +85,12 @@ type simulator struct {
 	negotiator *negotiate.Negotiator
 	user       negotiate.User
 
-	queue eventQueue
-	seq   int64
-	now   units.Time
-	jobs  map[int]*jobState
-	res   Result
+	queue      eventQueue
+	seq        int64
+	now        units.Time
+	dispatched int // events dispatched, for periodic profile GC
+	jobs       map[int]*jobState
+	res        Result
 
 	// Occupancy integration: busy node count and the instant it last
 	// changed.
@@ -106,6 +114,24 @@ type simulator struct {
 // results.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	return s.collect()
+}
+
+// NewEngine builds the state machine for cfg without running it: the
+// workload's arrivals (if any) and the failure trace are enqueued, and the
+// clock sits at zero. Unlike Run, a nil or empty Workload is accepted —
+// the online service admits jobs one at a time instead of replaying a log.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(false); err != nil {
 		return nil, err
 	}
 	var (
@@ -137,12 +163,16 @@ func Run(cfg Config) (*Result, error) {
 		pred = tracePred
 		locator = tracePred
 	}
-	s := &simulator{
+	jobCount := 0
+	if cfg.Workload != nil {
+		jobCount = len(cfg.Workload.Jobs)
+	}
+	s := &Engine{
 		cfg:       cfg,
 		cluster:   cluster.New(cfg.Nodes),
 		quotePred: pred,
 		ckptPred:  pred,
-		jobs:      make(map[int]*jobState, len(cfg.Workload.Jobs)),
+		jobs:      make(map[int]*jobState, jobCount),
 		probe:     cfg.Probe,
 	}
 	if cfg.BaseRateFloor {
@@ -168,35 +198,34 @@ func Run(cfg Config) (*Result, error) {
 		s.user = negotiate.User{U: 0} // every first quote accepted
 	}
 
-	for _, j := range cfg.Workload.Jobs {
-		if _, dup := s.jobs[j.ID]; dup {
-			return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
+	if cfg.Workload != nil {
+		for _, j := range cfg.Workload.Jobs {
+			if _, dup := s.jobs[j.ID]; dup {
+				return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
+			}
+			s.jobs[j.ID] = &jobState{job: j}
+			s.push(&event{time: j.Arrival, kind: KindArrival, jobID: j.ID})
 		}
-		s.jobs[j.ID] = &jobState{job: j}
-		s.push(&event{time: j.Arrival, kind: KindArrival, jobID: j.ID})
 	}
 	for i := 0; i < cfg.Failures.Len(); i++ {
 		e := cfg.Failures.At(i)
 		s.push(&event{time: e.Time, kind: KindFailure, node: e.Node, index: i})
 	}
-
-	if err := s.loop(); err != nil {
-		return nil, err
-	}
-	return s.collect()
+	heap.Init(&s.queue)
+	return s, nil
 }
 
-func (s *simulator) push(ev *event) {
+func (s *Engine) push(ev *event) {
 	ev.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, ev)
 }
 
-func (s *simulator) observe(kind Kind, jobID, node int, detail string) {
+func (s *Engine) observe(kind Kind, jobID, node int, detail string) {
 	s.observeWidth(kind, jobID, node, 0, detail)
 }
 
-func (s *simulator) observeWidth(kind Kind, jobID, node, width int, detail string) {
+func (s *Engine) observeWidth(kind Kind, jobID, node, width int, detail string) {
 	if s.cfg.Observer == nil {
 		return
 	}
@@ -206,54 +235,62 @@ func (s *simulator) observeWidth(kind Kind, jobID, node, width int, detail strin
 	})
 }
 
-func (s *simulator) loop() error {
-	heap.Init(&s.queue)
-	processed := 0
+// Drain processes events until the queue is empty, however far into the
+// future that reaches. Run uses it to replay a whole workload log.
+func (s *Engine) Drain() error {
 	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.time < s.now {
-			return fmt.Errorf("sim: time went backwards: %v -> %v (%v)", s.now, ev.time, ev.kind)
-		}
-		s.now = ev.time
-		s.res.EventsProcessed++
-		processed++
-		if processed%4096 == 0 {
-			s.scheduler.GC(s.now)
-		}
-
-		t0 := s.phaseStart()
-		var err error
-		switch ev.kind {
-		case KindArrival:
-			err = s.onArrival(ev)
-		case KindStart:
-			err = s.onStart(ev)
-		case KindCheckpointRequest:
-			err = s.onCheckpointRequest(ev)
-		case KindCheckpointFinish:
-			err = s.onCheckpointFinish(ev)
-		case KindFinish:
-			err = s.onFinish(ev)
-		case KindFailure:
-			err = s.onFailure(ev)
-		case KindRecovery:
-			s.observe(KindRecovery, 0, ev.node, "")
-		default:
-			err = fmt.Errorf("sim: unknown event kind %d", ev.kind)
-		}
-		if err != nil {
+		if err := s.step(); err != nil {
 			return err
-		}
-		if s.probe != nil {
-			s.probe.Phase(PhaseDispatch, time.Since(t0))
-			s.probe.Sample(s.state())
 		}
 	}
 	return nil
 }
 
+// step pops and dispatches the next event, advancing the clock to it.
+func (s *Engine) step() error {
+	ev := heap.Pop(&s.queue).(*event)
+	if ev.time < s.now {
+		return fmt.Errorf("sim: time went backwards: %v -> %v (%v)", s.now, ev.time, ev.kind)
+	}
+	s.now = ev.time
+	s.res.EventsProcessed++
+	s.dispatched++
+	if s.dispatched%4096 == 0 {
+		s.scheduler.GC(s.now)
+	}
+
+	t0 := s.phaseStart()
+	var err error
+	switch ev.kind {
+	case KindArrival:
+		err = s.onArrival(ev)
+	case KindStart:
+		err = s.onStart(ev)
+	case KindCheckpointRequest:
+		err = s.onCheckpointRequest(ev)
+	case KindCheckpointFinish:
+		err = s.onCheckpointFinish(ev)
+	case KindFinish:
+		err = s.onFinish(ev)
+	case KindFailure:
+		err = s.onFailure(ev)
+	case KindRecovery:
+		s.observe(KindRecovery, 0, ev.node, "")
+	default:
+		err = fmt.Errorf("sim: unknown event kind %d", ev.kind)
+	}
+	if err != nil {
+		return err
+	}
+	if s.probe != nil {
+		s.probe.Phase(PhaseDispatch, time.Since(t0))
+		s.probe.Sample(s.state())
+	}
+	return nil
+}
+
 // stale reports whether a job event belongs to a superseded attempt.
-func (s *simulator) stale(ev *event) bool {
+func (s *Engine) stale(ev *event) bool {
 	js, ok := s.jobs[ev.jobID]
 	if !ok || js.epoch != ev.epoch || js.completed {
 		s.res.StaleEventsDropped++
@@ -262,7 +299,7 @@ func (s *simulator) stale(ev *event) bool {
 	return false
 }
 
-func (s *simulator) onArrival(ev *event) error {
+func (s *Engine) onArrival(ev *event) error {
 	js := s.jobs[ev.jobID]
 	duration := plannedDuration(js.job.PlanExec(), s.cfg.Checkpoint)
 	t0 := s.phaseStart()
@@ -291,7 +328,7 @@ func (s *simulator) onArrival(ev *event) error {
 	return nil
 }
 
-func (s *simulator) onStart(ev *event) error {
+func (s *Engine) onStart(ev *event) error {
 	if s.stale(ev) {
 		return nil
 	}
@@ -354,7 +391,7 @@ func (s *simulator) onStart(ev *event) error {
 // instant: the end of any in-flight checkpoint plus its remaining
 // execution. Start-slip retries use it; if the job performs further
 // checkpoints the retry simply re-estimates, each time strictly later.
-func (s *simulator) estimateFinish(js *jobState) units.Time {
+func (s *Engine) estimateFinish(js *jobState) units.Time {
 	base := s.now
 	if js.inCheckpoint {
 		base = js.ckptStarted.Add(s.cfg.Checkpoint.Overhead)
@@ -369,7 +406,7 @@ func (s *simulator) estimateFinish(js *jobState) units.Time {
 // scheduleNextWork schedules the job's next progress milestone: its finish,
 // if no more checkpoint requests intervene, or the next checkpoint request
 // after a full interval of progress.
-func (s *simulator) scheduleNextWork(js *jobState) {
+func (s *Engine) scheduleNextWork(js *jobState) {
 	rem := js.remaining()
 	if rem <= s.cfg.Checkpoint.Interval {
 		s.push(&event{time: s.now.Add(rem), kind: KindFinish, jobID: js.job.ID, epoch: js.epoch})
@@ -381,7 +418,7 @@ func (s *simulator) scheduleNextWork(js *jobState) {
 	})
 }
 
-func (s *simulator) onCheckpointRequest(ev *event) error {
+func (s *Engine) onCheckpointRequest(ev *event) error {
 	if s.stale(ev) {
 		return nil
 	}
@@ -427,7 +464,7 @@ func (s *simulator) onCheckpointRequest(ev *event) error {
 	return nil
 }
 
-func (s *simulator) onCheckpointFinish(ev *event) error {
+func (s *Engine) onCheckpointFinish(ev *event) error {
 	if s.stale(ev) {
 		return nil
 	}
@@ -446,7 +483,7 @@ func (s *simulator) onCheckpointFinish(ev *event) error {
 	return nil
 }
 
-func (s *simulator) onFinish(ev *event) error {
+func (s *Engine) onFinish(ev *event) error {
 	if s.stale(ev) {
 		return nil
 	}
@@ -470,7 +507,7 @@ func (s *simulator) onFinish(ev *event) error {
 	return nil
 }
 
-func (s *simulator) onFailure(ev *event) error {
+func (s *Engine) onFailure(ev *event) error {
 	node := ev.node
 	s.cluster.Fail(node, s.now, s.cfg.Downtime)
 	s.scheduler.AddDowntime(node, s.now, s.now.Add(s.cfg.Downtime))
@@ -519,7 +556,7 @@ func (s *simulator) onFailure(ev *event) error {
 // restarted job takes the earliest slot the profile offers, which is
 // usually the tail of its own just-vacated reservation plus any backfill
 // hole it fits.
-func (s *simulator) requeue(js *jobState) error {
+func (s *Engine) requeue(js *jobState) error {
 	duration := plannedDuration(js.job.PlanExec()-js.doneWork, s.cfg.Checkpoint)
 	t0 := s.phaseStart()
 	c, ok := s.scheduler.EarliestCandidate(s.now, js.job.Nodes, duration)
@@ -539,13 +576,13 @@ func (s *simulator) requeue(js *jobState) error {
 
 // accountOccupancy integrates busy node-seconds up to now, then applies a
 // change in the number of occupied nodes.
-func (s *simulator) accountOccupancy(delta int) {
+func (s *Engine) accountOccupancy(delta int) {
 	s.busyAccum += units.WorkFor(s.busyNodes, s.now.Sub(s.busyMarkAt))
 	s.busyNodes += delta
 	s.busyMarkAt = s.now
 }
 
-func (s *simulator) collect() (*Result, error) {
+func (s *Engine) collect() (*Result, error) {
 	s.accountOccupancy(0) // flush the final busy stretch
 	s.res.BusyNodeSeconds = s.busyAccum
 	s.res.ClusterNodes = s.cfg.Nodes

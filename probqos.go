@@ -40,6 +40,7 @@ import (
 	"probqos/internal/negotiate"
 	"probqos/internal/obs"
 	"probqos/internal/predict"
+	"probqos/internal/service"
 	"probqos/internal/sim"
 	"probqos/internal/units"
 	"probqos/internal/workload"
@@ -339,3 +340,26 @@ func NewMetricsServer(reg *MetricsRegistry, ins *Instrument) *MetricsServer {
 // MultiObserver fans the simulation journal out to several observers; nil
 // entries are skipped.
 func MultiObserver(o ...Observer) Observer { return sim.MultiObserver(o...) }
+
+// Online negotiation service (qosd): the §5 quote/accept dialog as a
+// long-running daemon over a live cluster state on a virtual clock.
+type (
+	// QoSService is one running qosd instance; see cmd/qosd.
+	QoSService = service.Service
+	// QoSServiceConfig assembles a qosd instance.
+	QoSServiceConfig = service.Config
+	// JobStatus is the externally visible state of one admitted job.
+	JobStatus = sim.JobStatus
+	// ClusterStats is a cluster-level snapshot of the live engine.
+	ClusterStats = sim.Stats
+)
+
+// NewQoSServiceConfig returns a service at the paper's Table 2 operating
+// point over the given failure trace, with a manual virtual clock.
+func NewQoSServiceConfig(tr *FailureTrace) QoSServiceConfig {
+	return service.DefaultConfig(tr)
+}
+
+// NewQoSService builds and starts the service's state machine; callers
+// must Close it. Start binds the HTTP API.
+func NewQoSService(cfg QoSServiceConfig) (*QoSService, error) { return service.New(cfg) }
