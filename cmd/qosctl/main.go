@@ -3,26 +3,37 @@
 //
 // Usage:
 //
-//	qosctl [-addr host:port] quote -nodes N -exec SECONDS [-max K]
-//	qosctl [-addr host:port] accept -session ID -offer K
-//	qosctl [-addr host:port] job ID
-//	qosctl [-addr host:port] jobs
-//	qosctl [-addr host:port] state
-//	qosctl [-addr host:port] fault -node N [-at T] [-after SECONDS]
-//	qosctl [-addr host:port] advance [-to T] [-by SECONDS]
+//	qosctl [-addr host:port] [-timeout D] [-retries N] quote -nodes N -exec SECONDS [-max K]
+//	qosctl [...] accept -session ID -offer K
+//	qosctl [...] job ID
+//	qosctl [...] jobs
+//	qosctl [...] state
+//	qosctl [...] fault -node N [-at T] [-after SECONDS]
+//	qosctl [...] advance [-to T] [-by SECONDS]
 //
 // Responses are printed as indented JSON; non-2xx responses become errors
 // carrying the server's message.
+//
+// Requests time out (-timeout, default 10s) and transient failures are
+// retried with exponential backoff and jitter (-retries, default 3): GETs
+// on any transport error, POSTs only when the connection was refused
+// outright (nothing reached the server, so the request cannot have taken
+// effect), and either on a 503 — the server's explicit "not now, retry"
+// while degraded, draining, or at its admission limit.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"syscall"
+	"time"
 )
 
 func main() {
@@ -35,6 +46,8 @@ func main() {
 func run(out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("qosctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9120", "qosd address")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	retries := fs.Int("retries", 3, "retry budget for transient failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,7 +55,12 @@ func run(out io.Writer, args []string) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: quote, accept, job, jobs, state, fault, or advance")
 	}
-	c := client{base: "http://" + *addr, out: out}
+	c := client{
+		base:    "http://" + *addr,
+		out:     out,
+		http:    &http.Client{Timeout: *timeout},
+		retries: *retries,
+	}
 	cmd, args := rest[0], rest[1:]
 	switch cmd {
 	case "quote":
@@ -68,8 +86,10 @@ func run(out io.Writer, args []string) error {
 }
 
 type client struct {
-	base string
-	out  io.Writer
+	base    string
+	out     io.Writer
+	http    *http.Client
+	retries int
 }
 
 func (c client) quote(args []string) error {
@@ -132,32 +152,82 @@ func (c client) advance(args []string) error {
 	return c.call("POST", "/v1/advance", body)
 }
 
-// call performs one API request and pretty-prints the JSON response.
+// Retry backoff: base doubles each attempt up to the cap, and half the
+// delay is re-rolled as jitter so synchronized clients spread out.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 2 * time.Second
+)
+
+// call performs one API request — with retries for transient failures —
+// and pretty-prints the JSON response.
 func (c client) call(method, path string, body any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	resp, respBody, err := c.doRetry(method, path, data)
 	if err != nil {
 		return err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	return c.render(resp, respBody)
+}
+
+// doRetry issues the request, rebuilding it for each attempt so the body
+// reader is fresh. A request is retried when we know it is safe to repeat:
+// GETs after any transport error (idempotent), POSTs only when the
+// connection was refused (the server never saw the request), and both after
+// a 503, which qosd sends precisely when an operation was rejected before
+// taking effect (degraded, draining, or admission-limited).
+func (c client) doRetry(method, path string, body []byte) (*http.Response, []byte, error) {
+	delay := backoffBase
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		var respBody []byte
+		if err == nil {
+			respBody, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				err = fmt.Errorf("reading response: %w", err)
+				resp = nil
+			}
+		}
+		retryable := false
+		switch {
+		case err != nil && method == "GET":
+			retryable = true
+		case err != nil:
+			retryable = errors.Is(err, syscall.ECONNREFUSED)
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			retryable = true
+		}
+		if !retryable || attempt >= c.retries {
+			return resp, respBody, err
+		}
+		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
+		}
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
+}
+
+// render prints a successful response or turns an error response into an
+// error carrying the server's message.
+func (c client) render(resp *http.Response, data []byte) error {
 	if resp.StatusCode >= 300 {
 		var e struct {
 			Error string `json:"error"`

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"probqos"
@@ -80,6 +83,86 @@ func TestServerErrorsSurface(t *testing.T) {
 	err := run(&bytes.Buffer{}, []string{"-addr", addr, "accept", "-session", "q-404", "-offer", "1"})
 	if err == nil || !strings.Contains(err.Error(), "unknown or expired") {
 		t.Fatalf("error not surfaced: %v", err)
+	}
+}
+
+// flakyServer serves 503 for the first fail requests, then delegates to
+// ok. It returns the qosctl -addr form of its address and a hit counter.
+func flakyServer(t *testing.T, fail int64, ok http.HandlerFunc) (string, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= fail {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error": "service draining"}`))
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://"), &hits
+}
+
+func TestRetriesTransient503(t *testing.T) {
+	okJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"jobs": []}`))
+	}
+
+	// A GET and a POST should both survive two 503s within the default
+	// retry budget of three.
+	for _, args := range [][]string{
+		{"jobs"},
+		{"advance", "-by", "60"},
+	} {
+		addr, hits := flakyServer(t, 2, okJSON)
+		var out bytes.Buffer
+		if err := run(&out, append([]string{"-addr", addr}, args...)); err != nil {
+			t.Fatalf("%v after 503s: %v", args, err)
+		}
+		if got := hits.Load(); got != 3 {
+			t.Errorf("%v made %d requests, want 3", args, got)
+		}
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	addr, hits := flakyServer(t, 1<<30, nil)
+	err := run(&bytes.Buffer{}, []string{"-addr", addr, "-retries", "1", "jobs"})
+	if err == nil || !strings.Contains(err.Error(), "service draining") {
+		t.Fatalf("exhausted retries should surface the 503 error, got: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("made %d requests, want 2 (1 try + 1 retry)", got)
+	}
+}
+
+func TestNoRetryOnHardErrors(t *testing.T) {
+	// A 4xx is a definitive answer; retrying would just repeat it.
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error": "no such job"}`))
+	}))
+	t.Cleanup(srv.Close)
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if err := run(&bytes.Buffer{}, []string{"-addr", addr, "job", "7"}); err == nil {
+		t.Fatal("404 did not surface as an error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("made %d requests for a 404, want 1", got)
+	}
+}
+
+func TestGetRetriesConnectionRefused(t *testing.T) {
+	// Grab a port, then close the listener so every dial is refused: the
+	// GET must exhaust its retry budget rather than give up immediately.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	srv.Close()
+	err := run(&bytes.Buffer{}, []string{"-addr", addr, "-retries", "1", "jobs"})
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("want connection-refused error, got: %v", err)
 	}
 }
 

@@ -5,12 +5,17 @@
 //
 //	qosd [-addr host:port] [-nodes N] [-failures trace.csv] [-seed S]
 //	     [-a accuracy] [-speedup X] [-ttl-mins M] [-max-quotes K]
-//	     [-max-outstanding J]
+//	     [-max-outstanding J] [-data-dir DIR] [-snapshot-every N]
 //
 // Without -failures a synthetic trace matching the paper's AIX failure
 // data is generated for the cluster. The virtual clock is manual by
 // default (drive it with POST /v1/advance); -speedup X makes one wall
 // second advance the clock by X virtual seconds.
+//
+// With -data-dir the daemon is crash-safe: every state mutation is
+// appended to a write-ahead log in DIR before it is applied, compacted
+// into snapshots on a risk-based cadence, and replayed on restart so
+// admitted jobs and their deadline promises survive a kill -9.
 //
 // API: POST /v1/quote, POST /v1/accept, GET /v1/jobs, GET /v1/jobs/{id},
 // POST /v1/faults, POST /v1/advance, GET /v1/state, plus /metrics,
@@ -52,6 +57,8 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 		ttlMins     = fs.Float64("ttl-mins", 60, "session TTL in virtual minutes: how long a quote stands")
 		maxQuotes   = fs.Int("max-quotes", 8, "maximum offers per quote request")
 		maxOut      = fs.Int("max-outstanding", 0, "admission limit on open promises (0 = unlimited)")
+		dataDir     = fs.String("data-dir", "", "durable state directory (empty = memory only)")
+		snapEvery   = fs.Int("snapshot-every", 0, "hard cap on WAL records between snapshots (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +76,8 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.SessionTTL = probqos.Duration(*ttlMins * 60)
 	cfg.MaxQuotes = *maxQuotes
 	cfg.MaxOutstanding = *maxOut
+	cfg.DataDir = *dataDir
+	cfg.SnapshotEvery = *snapEvery
 
 	svc, err := probqos.NewQoSService(cfg)
 	if err != nil {
@@ -81,6 +90,17 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	}
 	fmt.Fprintf(out, "qosd listening on %s (%d nodes, a=%.2f, speedup=%g)\n",
 		bound, *nodes, *accuracy, *speedup)
+	if info := svc.RecoveryInfo(); info.Enabled {
+		kind := "fresh state"
+		if info.SnapshotLoaded || info.RecordsReplayed > 0 {
+			kind = "clean shutdown"
+			if !info.Clean {
+				kind = "crash recovery"
+			}
+		}
+		fmt.Fprintf(out, "qosd durable in %s (%s: snapshot=%v, replayed=%d records)\n",
+			*dataDir, kind, info.SnapshotLoaded, info.RecordsReplayed)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -105,6 +105,100 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// startRun launches run in the background and waits for the announcement
+// line, returning the API base URL, the stop channel, the error channel,
+// and the output collector.
+func startRun(t *testing.T, args []string) (string, chan struct{}, chan error, *syncWriter) {
+	t.Helper()
+	out := &syncWriter{first: make(chan struct{})}
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() { errs <- run(out, args, stop) }()
+	select {
+	case <-out.first:
+	case err := <-errs:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("qosd never announced its address")
+	}
+	fields := strings.Fields(strings.SplitN(out.String(), "\n", 2)[0])
+	if len(fields) < 4 {
+		t.Fatalf("unexpected announcement %q", out.String())
+	}
+	return "http://" + fields[3], stop, errs, out
+}
+
+// drain stops a startRun daemon and fails the test if it errors or hangs.
+func drain(t *testing.T, stop chan struct{}, errs chan error) {
+	t.Helper()
+	close(stop)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("qosd did not drain after stop")
+	}
+}
+
+func TestRunRecoversFromDataDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-nodes", "8", "-seed", "3", "-data-dir", dir}
+
+	// First life: admit a job, then drain cleanly.
+	base, stop, errs, out := startRun(t, args)
+	resp, err := http.Post(base+"/v1/quote", "application/json",
+		strings.NewReader(`{"nodes": 2, "exec_seconds": 600}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quote struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&quote); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || quote.SessionID == "" {
+		t.Fatalf("quote over HTTP failed: %s", resp.Status)
+	}
+	resp, err = http.Post(base+"/v1/accept", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"session_id": %q, "offer": 1}`, quote.SessionID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept over HTTP: %s", resp.Status)
+	}
+	drain(t, stop, errs)
+	if !strings.Contains(out.String(), "fresh state") {
+		t.Errorf("first boot should report fresh state, got:\n%s", out.String())
+	}
+
+	// Second life: the admitted job must survive the restart.
+	base, stop, errs, out = startRun(t, args)
+	resp, err = http.Get(base + "/v1/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || job.ID != 1 {
+		t.Fatalf("job 1 did not survive restart: %s %+v", resp.Status, job)
+	}
+	drain(t, stop, errs)
+	if !strings.Contains(out.String(), "clean shutdown") {
+		t.Errorf("restart should report clean shutdown, got:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(&bytes.Buffer{}, []string{"-nodes", "0"}, nil); err == nil {
 		t.Error("zero-node cluster accepted")

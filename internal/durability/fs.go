@@ -1,0 +1,231 @@
+// Package durability gives qosd a crash-safe memory: a write-ahead log of
+// every state-mutating operation plus periodic snapshots that compact the
+// log. The paper's thesis is that promises survive failures through
+// checkpointing; this package applies the same discipline to the control
+// plane itself, reusing the risk-based skip rule (pf·d·I ≥ C, Equation 1)
+// to decide when replaying the log would cost more than writing a
+// snapshot.
+//
+// Everything goes through an injectable filesystem so tests can force
+// short writes, fsync errors, torn records, and crashes at every record
+// boundary. Only the standard library is used.
+package durability
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FS is the filesystem capability set the durability layer needs. OSFS is
+// the production implementation; FaultFS wraps any FS with programmable
+// failures for crash testing.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens a file for writing with the given flags (os.O_*).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file capability set: append, force to stable
+// storage, and cut back to a known-good length.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse to fsync directories (EINVAL); the rename is
+	// then as durable as the platform allows.
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// FaultFS wraps an FS with programmable failures, for driving the
+// durability layer through short writes, fsync errors, and failed renames
+// without unplugging any real disk. All knobs are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes writable before writes fail; negative = unlimited
+	failSync    bool
+	failRename  bool
+	failTrunc   bool
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, writeBudget: -1}
+}
+
+// ErrInjected is the error every armed fault returns.
+var ErrInjected = errors.New("durability: injected fault")
+
+// SetWriteBudget arms write failure after n more bytes: a write crossing
+// the budget is cut short (the bytes that fit are written, the rest fail),
+// modelling a torn append. A negative budget disarms the fault.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// FailSync toggles fsync failure on every file.
+func (f *FaultFS) FailSync(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = on
+}
+
+// FailRename toggles rename failure.
+func (f *FaultFS) FailRename(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRename = on
+}
+
+// FailTruncate toggles truncate failure.
+func (f *FaultFS) FailTruncate(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failTrunc = on
+}
+
+// Clear disarms every fault.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = -1
+	f.failSync = false
+	f.failRename = false
+	f.failTrunc = false
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	fail := f.failSync
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write spends the write budget; a write that crosses it is cut short so
+// the file ends mid-record, exactly like a crash during an append.
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	budget := f.fs.writeBudget
+	if budget >= 0 {
+		if int64(len(p)) > budget {
+			f.fs.writeBudget = 0
+		} else {
+			f.fs.writeBudget -= int64(len(p))
+		}
+	}
+	f.fs.mu.Unlock()
+	if budget < 0 || int64(len(p)) <= budget {
+		return f.inner.Write(p)
+	}
+	n, err := f.inner.Write(p[:budget])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.failSync
+	f.fs.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	fail := f.fs.failTrunc
+	f.fs.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

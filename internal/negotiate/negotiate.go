@@ -36,11 +36,11 @@ func (u User) Accepts(promised float64) bool { return promised >= u.U }
 // Quote is one offer in the dialog: "this job can be completed by Deadline
 // with probability Success".
 type Quote struct {
-	Candidate sched.Candidate
+	Candidate sched.Candidate `json:"candidate"`
 	// Deadline is the promised completion instant for this slot.
-	Deadline units.Time
+	Deadline units.Time `json:"deadline"`
 	// Success is p_j = 1 - pf, the promised probability of success.
-	Success float64
+	Success float64 `json:"success"`
 }
 
 // failureLocator is the optional predictor capability the negotiator uses

@@ -2,6 +2,9 @@ package negotiate
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"probqos/internal/units"
 )
@@ -14,18 +17,18 @@ import (
 // the simulation loop.
 type Session struct {
 	// ID names the session in accept requests.
-	ID string
+	ID string `json:"id"`
 	// Size and Exec restate the quoted request: job size in nodes and
 	// checkpoint-free execution time.
-	Size int
-	Exec units.Duration
+	Size int            `json:"size"`
+	Exec units.Duration `json:"exec_seconds"`
 	// Created and Expires bound the session's validity on the virtual
 	// clock. An offer accepted after Expires is refused: the cluster state
 	// it priced has moved on.
-	Created units.Time
-	Expires units.Time
+	Created units.Time `json:"created"`
+	Expires units.Time `json:"expires"`
 	// Quotes are the offers, earliest deadline first.
-	Quotes []Quote
+	Quotes []Quote `json:"quotes"`
 }
 
 // Book tracks open sessions for an online negotiation service. It is not
@@ -99,3 +102,62 @@ func (b *Book) Len() int { return len(b.open) }
 
 // Expired returns the cumulative count of sessions that lapsed unaccepted.
 func (b *Book) Expired() int { return b.expired }
+
+// BookState is a serializable snapshot of a Book, minus the TTL (which is
+// configuration, not state, and stays with the restoring book).
+type BookState struct {
+	Seq      int64     `json:"seq"`
+	Expired  int       `json:"expired"`
+	Sessions []Session `json:"sessions,omitempty"`
+}
+
+// Export snapshots the book. Sessions come out in creation order (the
+// numeric order of their q-N IDs) so the encoding is deterministic.
+func (b *Book) Export() BookState {
+	st := BookState{Seq: b.seq, Expired: b.expired}
+	for _, s := range b.open {
+		st.Sessions = append(st.Sessions, *s)
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool {
+		return sessionSeq(st.Sessions[i].ID) < sessionSeq(st.Sessions[j].ID)
+	})
+	return st
+}
+
+// Import replaces the book's state with an exported snapshot, keeping the
+// configured TTL.
+func (b *Book) Import(st BookState) error {
+	open := make(map[string]*Session, len(st.Sessions))
+	for i := range st.Sessions {
+		s := st.Sessions[i]
+		if _, dup := open[s.ID]; dup {
+			return fmt.Errorf("negotiate: duplicate session %q in book state", s.ID)
+		}
+		open[s.ID] = &s
+	}
+	b.seq = st.Seq
+	b.expired = st.Expired
+	b.open = open
+	return nil
+}
+
+// Insert re-opens a session exactly as recorded, for write-ahead-log
+// replay. The sequence counter is bumped past the session's own number so
+// sessions opened after recovery cannot collide with replayed IDs.
+func (b *Book) Insert(s *Session) {
+	if n := sessionSeq(s.ID); n > b.seq {
+		b.seq = n
+	}
+	cp := *s
+	b.open[cp.ID] = &cp
+}
+
+// sessionSeq extracts the numeric suffix of a q-N session ID; IDs minted
+// elsewhere sort first.
+func sessionSeq(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "q-"), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package negotiate
 
 import (
+	"encoding/json"
 	"testing"
 
 	"probqos/internal/units"
@@ -93,5 +94,78 @@ func TestNewBookRejectsBadTTL(t *testing.T) {
 	}
 	if _, err := NewBook(-1); err == nil {
 		t.Error("negative TTL accepted")
+	}
+}
+
+func TestBookExportImportRoundTrip(t *testing.T) {
+	b, _ := NewBook(units.Hour)
+	q := []Quote{{Deadline: 100, Success: 0.9}, {Deadline: 200, Success: 0.99}}
+	for i := 0; i < 12; i++ {
+		b.Open(units.Time(i), 2, 600, q)
+	}
+	b.Take("q-3", 5)          // consumed
+	b.Sweep(units.Time(3603)) // expires the ones opened before t=3
+
+	st := b.Export()
+	if st.Seq != 12 || st.Expired != b.Expired() || len(st.Sessions) != b.Len() {
+		t.Fatalf("export = %+v vs book len %d expired %d", st, b.Len(), b.Expired())
+	}
+	for i := 1; i < len(st.Sessions); i++ {
+		if sessionSeq(st.Sessions[i-1].ID) >= sessionSeq(st.Sessions[i].ID) {
+			t.Fatalf("export not in creation order: %s before %s",
+				st.Sessions[i-1].ID, st.Sessions[i].ID)
+		}
+	}
+
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BookState
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, _ := NewBook(units.Hour)
+	if err := b2.Import(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != b.Len() || b2.Expired() != b.Expired() {
+		t.Fatalf("imported book: len %d expired %d, want %d/%d",
+			b2.Len(), b2.Expired(), b.Len(), b.Expired())
+	}
+	// Sequencing continues where the exporter left off.
+	if s := b2.Open(0, 1, 60, q); s.ID != "q-13" {
+		t.Fatalf("next session after import = %s, want q-13", s.ID)
+	}
+	// Imported sessions are takeable with their recorded quotes.
+	got, ok := b2.Take("q-12", units.Time(11).Add(units.Hour))
+	if !ok || len(got.Quotes) != 2 || got.Quotes[1].Success != 0.99 {
+		t.Fatalf("take imported session = %+v, %v", got, ok)
+	}
+}
+
+func TestBookImportRejectsDuplicates(t *testing.T) {
+	b, _ := NewBook(units.Hour)
+	s := Session{ID: "q-1", Size: 1, Exec: 60}
+	err := b.Import(BookState{Seq: 1, Sessions: []Session{s, s}})
+	if err == nil {
+		t.Fatal("duplicate session IDs imported")
+	}
+}
+
+func TestBookInsertBumpsSequence(t *testing.T) {
+	b, _ := NewBook(units.Hour)
+	b.Insert(&Session{ID: "q-7", Size: 1, Exec: 60, Expires: units.Time(units.Hour)})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after insert", b.Len())
+	}
+	if s := b.Open(0, 1, 60, nil); s.ID != "q-8" {
+		t.Fatalf("open after insert minted %s, want q-8", s.ID)
+	}
+	// Foreign IDs insert fine and leave the sequence alone.
+	b.Insert(&Session{ID: "external", Size: 1, Exec: 60})
+	if s := b.Open(0, 1, 60, nil); s.ID != "q-9" {
+		t.Fatalf("open after foreign insert minted %s, want q-9", s.ID)
 	}
 }

@@ -25,6 +25,7 @@ type Server struct {
 	reg      *Registry
 	sampler  *Sampler
 	profiler *Profiler
+	health   func() (status string, detail map[string]any)
 
 	started time.Time
 	srv     *http.Server
@@ -34,6 +35,14 @@ type Server struct {
 // NewServer builds a server over reg; sampler and profiler may be nil.
 func NewServer(reg *Registry, sampler *Sampler, profiler *Profiler) *Server {
 	return &Server{reg: reg, sampler: sampler, profiler: profiler, started: time.Now()}
+}
+
+// SetHealth installs a hook /healthz consults on every request. A non-empty
+// status replaces "ok" (e.g. "degraded") and detail entries are merged into
+// the response. The hook runs on handler goroutines, so it must be
+// concurrency-safe. Call before the server starts serving.
+func (s *Server) SetHealth(fn func() (status string, detail map[string]any)) {
+	s.health = fn
 }
 
 // Handler returns the endpoint mux, for embedding or tests.
@@ -53,7 +62,13 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = &http.Server{
+		Handler: s.Handler(),
+		// Scrapers come and go; stalled ones must not pin goroutines.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
@@ -74,11 +89,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
-	})
+	}
+	if s.health != nil {
+		status, detail := s.health()
+		if status != "" {
+			body["status"] = status
+		}
+		for k, v := range detail {
+			body[k] = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

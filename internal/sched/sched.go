@@ -13,9 +13,9 @@ import (
 // the reservation window. The negotiation layer walks successive candidates
 // quoting (deadline, probability) pairs to the user.
 type Candidate struct {
-	Start units.Time
-	Nodes []int
-	PFail float64
+	Start units.Time `json:"start"`
+	Nodes []int      `json:"nodes"`
+	PFail float64    `json:"pfail"`
 }
 
 // Reservation records a job's committed placement.

@@ -10,7 +10,6 @@ import (
 	"strconv"
 	"time"
 
-	"probqos/internal/obs"
 	"probqos/internal/sim"
 	"probqos/internal/units"
 	"probqos/internal/workload"
@@ -137,7 +136,7 @@ type errorResponse struct {
 // (/metrics, /healthz, /snapshot) mounted alongside /v1.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", obs.NewServer(s.reg, nil, nil).Handler())
+	mux.Handle("/", s.obsSrv.Handler())
 	mux.HandleFunc("POST /v1/quote", s.instrumented("quote", s.handleQuote))
 	mux.HandleFunc("POST /v1/accept", s.instrumented("accept", s.handleAccept))
 	mux.HandleFunc("GET /v1/jobs", s.instrumented("jobs", s.handleJobs))
@@ -179,7 +178,7 @@ func readBody(r *http.Request) ([]byte, error) {
 // errCode maps a state-machine error to its HTTP status.
 func errCode(err error) int {
 	switch {
-	case errors.Is(err, errClosed):
+	case errors.Is(err, errClosed), errors.Is(err, errDegraded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -222,6 +221,11 @@ func (s *Service) handleQuote(r *http.Request) (int, any, error) {
 		}
 		if len(quotes) > 0 {
 			sess := s.book.Open(s.eng.Now(), req.Nodes, units.Duration(req.ExecSeconds), quotes)
+			// Journaled after the fact, deliberately: losing a session
+			// record (crash here, or a degraded log) costs the client a 404
+			// on accept — renegotiate — never a broken promise. A degraded
+			// log thus still quotes; the session is just memory-only.
+			s.logOp(walOp{Kind: opSession, Session: sess})
 			resp.SessionID = sess.ID
 			resp.Expires = sess.Expires
 			s.reg.Counter("qosd_sessions_opened_total", "negotiation sessions opened", nil).Inc()
@@ -258,41 +262,77 @@ func (s *Service) handleAccept(r *http.Request) (int, any, error) {
 	)
 	doErr := s.do(func() {
 		if err = s.tick(); err != nil {
-			code = http.StatusInternalServerError
+			code = errCode(err)
 			return
 		}
 		defer s.updateGauges()
+		// An accept creates a promise, which must hit stable storage before
+		// it is made. While the log is down, refuse up front.
+		if s.degraded != nil {
+			s.countAccept("degraded")
+			code, err = http.StatusServiceUnavailable, errDegraded
+			return
+		}
+		expiredBefore := s.book.Expired()
 		sess, ok := s.book.Take(req.SessionID, s.eng.Now())
 		if !ok {
+			if s.book.Expired() != expiredBefore {
+				// The take lapsed a real session (not a bogus ID): journal
+				// the state change. If the log just failed, replay converges
+				// anyway — the next advance sweeps the lapsed session.
+				s.logOp(walOp{Kind: opTake, SessionID: req.SessionID})
+			}
 			s.countAccept("expired")
 			code, err = http.StatusNotFound,
 				fmt.Errorf("session %q unknown or expired; request a fresh quote", req.SessionID)
 			return
 		}
+		// From here on the session is consumed, a state change that must be
+		// journaled; on a log failure put it back and refuse, as if the
+		// request never happened.
 		if req.Offer < 1 || req.Offer > len(sess.Quotes) {
+			if lerr := s.logOp(walOp{Kind: opTake, SessionID: sess.ID}); lerr != nil {
+				s.book.Insert(sess)
+				code, err = http.StatusServiceUnavailable, lerr
+				return
+			}
 			s.countAccept("rejected")
 			code, err = http.StatusBadRequest,
 				fmt.Errorf("offer %d outside 1..%d", req.Offer, len(sess.Quotes))
 			return
 		}
 		if s.cfg.MaxOutstanding > 0 && s.eng.Stats().Outstanding() >= s.cfg.MaxOutstanding {
+			if lerr := s.logOp(walOp{Kind: opTake, SessionID: sess.ID}); lerr != nil {
+				s.book.Insert(sess)
+				code, err = http.StatusServiceUnavailable, lerr
+				return
+			}
 			s.countAccept("rejected")
 			code, err = http.StatusServiceUnavailable,
 				fmt.Errorf("admission limit reached (%d outstanding jobs); retry later", s.cfg.MaxOutstanding)
 			return
 		}
 		quote := sess.Quotes[req.Offer-1]
-		s.nextJobID++
 		job := workload.Job{
-			ID:      s.nextJobID,
+			ID:      s.nextJobID + 1,
 			Arrival: s.eng.Now(),
 			Nodes:   sess.Size,
 			Exec:    sess.Exec,
 		}
-		if admitErr := s.eng.Admit(job, quote, req.Offer); admitErr != nil {
+		// The admit record carries the full job and quote, so replay never
+		// depends on a session record existing (memory-only sessions from a
+		// degraded window stay admittable after healing).
+		op := walOp{Kind: opAdmit, SessionID: sess.ID, Job: &job, Quote: &quote, Offers: req.Offer}
+		if lerr := s.logOp(op); lerr != nil {
+			s.book.Insert(sess)
+			code, err = http.StatusServiceUnavailable, lerr
+			return
+		}
+		if admitErr := s.applyAdmit(op); admitErr != nil {
 			// The quoted slot is gone: the clock moved past its start, or a
 			// competing accept claimed the nodes first. Renegotiation is the
 			// protocol's answer, so this is a conflict, not a server error.
+			// Replay re-enacts the same rejection from the journaled record.
 			s.countAccept("conflict")
 			code, err = http.StatusConflict, fmt.Errorf("quote no longer holds: %w", admitErr)
 			return
@@ -392,7 +432,14 @@ func (s *Service) handleFault(r *http.Request) (int, any, error) {
 	)
 	doErr := s.do(func() {
 		if err = s.tick(); err != nil {
-			code = http.StatusInternalServerError
+			code = errCode(err)
+			return
+		}
+		// Validate before journaling so the log holds no junk records; the
+		// at-clamp below makes the engine's own checks unreachable.
+		if req.Node < 0 || req.Node >= s.cfg.Nodes {
+			code, err = http.StatusBadRequest,
+				fmt.Errorf("node %d outside [0,%d)", req.Node, s.cfg.Nodes)
 			return
 		}
 		at = req.At
@@ -402,7 +449,12 @@ func (s *Service) handleFault(r *http.Request) (int, any, error) {
 		if at < s.eng.Now() {
 			at = s.eng.Now()
 		}
-		if injErr := s.eng.InjectFailure(req.Node, at); injErr != nil {
+		op := walOp{Kind: opFault, Node: req.Node, At: at}
+		if lerr := s.logOp(op); lerr != nil {
+			code, err = http.StatusServiceUnavailable, lerr
+			return
+		}
+		if injErr := s.applyFault(op); injErr != nil {
 			code, err = http.StatusBadRequest, injErr
 			return
 		}
@@ -447,7 +499,6 @@ func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
 		if err = s.advanceTo(target); err != nil {
 			return
 		}
-		s.book.Sweep(s.eng.Now())
 		now = s.eng.Now()
 		s.updateGauges()
 	})
@@ -455,7 +506,7 @@ func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
 		return errCode(doErr), nil, doErr
 	}
 	if err != nil {
-		return http.StatusInternalServerError, nil, err
+		return errCode(err), nil, err
 	}
 	return http.StatusOK, map[string]units.Time{"now": now}, nil
 }

@@ -25,10 +25,9 @@ import (
 	"time"
 
 	"probqos/internal/checkpoint"
+	"probqos/internal/durability"
 	"probqos/internal/failure"
-	"probqos/internal/negotiate"
 	"probqos/internal/obs"
-	"probqos/internal/sim"
 	"probqos/internal/units"
 )
 
@@ -66,6 +65,22 @@ type Config struct {
 	// Registry receives the per-endpoint counters and latency histograms
 	// plus the cluster gauges. A nil Registry gets a private one.
 	Registry *obs.Registry
+	// DataDir, when non-empty, makes the service crash-safe: every
+	// state-mutating operation is appended to a write-ahead log under this
+	// directory before it is applied, and a periodic snapshot compacts the
+	// log. On startup the snapshot is restored and the log replayed. Empty
+	// means in-memory only, exactly the pre-durability behaviour.
+	DataDir string
+	// FS overrides the filesystem the durability layer writes through; nil
+	// means the real one. Tests inject fault-carrying filesystems here.
+	FS durability.FS
+	// SnapshotEvery caps how many WAL records may accumulate before a
+	// snapshot regardless of the risk rule; 0 means the default (1024).
+	SnapshotEvery int
+	// CrashHazard is pf in the risk-based snapshot rule (the assumed
+	// probability of crashing per unsnapshotted record); 0 means the
+	// default (0.01).
+	CrashHazard float64
 }
 
 // DefaultConfig returns a service at the paper's Table 2 operating point
@@ -95,10 +110,17 @@ var errClosed = errors.New("service: shutting down")
 
 // Service is one running qosd instance.
 type Service struct {
-	cfg  Config
-	eng  *sim.Engine
-	book *negotiate.Book
-	reg  *obs.Registry
+	cfg Config
+	machine
+	reg    *obs.Registry
+	obsSrv *obs.Server
+
+	// Durability (nil store when no DataDir is configured). digest
+	// fingerprints the config for the snapshot; info records what startup
+	// recovered.
+	store  *durability.Store
+	digest string
+	info   RecoveryInfo
 
 	reqs chan func()
 	quit chan struct{}
@@ -117,7 +139,11 @@ type Service struct {
 	// state further.
 	broken error
 
-	nextJobID int
+	// degraded records a WAL write failure: mutations answer 503 until a
+	// heal probe succeeds, reads and quotes keep working. degradedMsg
+	// mirrors it atomically for /healthz, which runs off the loop.
+	degraded    error
+	degradedMsg atomic.Value
 
 	srv *http.Server
 	ln  net.Listener
@@ -141,34 +167,34 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
-	eng, err := sim.NewEngine(sim.Config{
-		Failures:      cfg.Failures,
-		Nodes:         cfg.Nodes,
-		Accuracy:      cfg.Accuracy,
-		Checkpoint:    cfg.Checkpoint,
-		Downtime:      cfg.Downtime,
-		Policy:        cfg.Policy,
-		DeadlineSkip:  cfg.DeadlineSkip,
-		FaultAware:    cfg.FaultAware,
-		BaseRateFloor: cfg.BaseRateFloor,
-	})
-	if err != nil {
-		return nil, err
-	}
-	book, err := negotiate.NewBook(cfg.SessionTTL)
+	m, err := newMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Service{
-		cfg:       cfg,
-		eng:       eng,
-		book:      book,
-		reg:       cfg.Registry,
-		reqs:      make(chan func()),
-		quit:      make(chan struct{}),
-		done:      make(chan struct{}),
-		clockMark: time.Now(),
+		cfg:     cfg,
+		machine: m,
+		reg:     cfg.Registry,
+		reqs:    make(chan func()),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
+	s.degradedMsg.Store("")
+	if cfg.DataDir != "" {
+		s.digest = configDigest(cfg)
+		if err := s.recoverState(); err != nil {
+			return nil, err
+		}
+	}
+	s.clockBase = s.eng.Now()
+	s.clockMark = time.Now()
+	s.obsSrv = obs.NewServer(s.reg, nil, nil)
+	s.obsSrv.SetHealth(func() (string, map[string]any) {
+		if msg, _ := s.degradedMsg.Load().(string); msg != "" {
+			return "degraded", map[string]any{"wal_error": msg}
+		}
+		return "", nil
+	})
 	s.updateGauges()
 	go s.loop()
 	return s, nil
@@ -215,26 +241,41 @@ func (s *Service) do(fn func()) error {
 
 // tick advances the virtual clock for one request: in speedup mode the
 // clock follows wall time; in manual mode it only moves via /v1/advance.
-// Expired sessions are swept either way. Runs on the loop goroutine.
+// Expired sessions are swept either way. While degraded it first probes
+// whether the log healed; while it has not, the speedup clock freezes
+// rather than advancing unjournaled. Runs on the loop goroutine.
 func (s *Service) tick() error {
 	if s.broken != nil {
 		return s.broken
 	}
+	s.probeHeal()
+	s.maybeCompact()
 	if s.cfg.Speedup > 0 {
 		elapsed := time.Since(s.clockMark).Seconds()
 		target := s.clockBase.Add(units.Duration(elapsed * s.cfg.Speedup))
-		if err := s.advanceTo(target); err != nil {
-			return err
+		if target > s.eng.Now() {
+			if err := s.advanceTo(target); err != nil && !errors.Is(err, errDegraded) {
+				return err
+			}
 		}
 	}
 	s.book.Sweep(s.eng.Now())
 	return nil
 }
 
-// advanceTo moves the engine clock, recording any invariant violation as a
-// permanent fault. Runs on the loop goroutine.
+// advanceTo journals and applies one clock advance, recording any engine
+// invariant violation as a permanent fault. Non-forward targets are a
+// no-op: pending events always sit at time >= now, so only a strictly
+// forward advance can process anything — which keeps every state change
+// journaled and snapshot replay exact. Runs on the loop goroutine.
 func (s *Service) advanceTo(t units.Time) error {
-	if err := s.eng.AdvanceTo(t); err != nil {
+	if t <= s.eng.Now() {
+		return nil
+	}
+	if err := s.logOp(walOp{Kind: opAdvance, To: t}); err != nil {
+		return err
+	}
+	if err := s.applyAdvance(t); err != nil {
 		s.broken = fmt.Errorf("service: engine failed: %w", err)
 		return s.broken
 	}
@@ -251,7 +292,14 @@ func (s *Service) Start(addr string) (string, error) {
 		return "", fmt.Errorf("service: listen %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = &http.Server{
+		Handler: s.Handler(),
+		// Slow or stalled clients must not pin handler goroutines (each of
+		// which serializes through the state machine) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
@@ -274,6 +322,18 @@ func (s *Service) Close() error {
 		close(s.quit)
 	}
 	<-s.done
+	// The loop has exited, so its state is safely ours to read. A healthy
+	// durable service leaves a clean-shutdown snapshot: drain marker, then
+	// a snapshot with the WAL truncated, so the next boot replays nothing.
+	if s.store != nil {
+		if s.broken == nil && s.degraded == nil {
+			if lerr := s.logOp(walOp{Kind: opDrain}); lerr == nil {
+				s.compact(true)
+			}
+		}
+		s.store.Close()
+		s.store = nil
+	}
 	return err
 }
 

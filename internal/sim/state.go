@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"probqos/internal/negotiate"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// Engine state export/import for the durability layer (internal/durability,
+// used by qosd). The engine is deterministic: given the same Config — same
+// cluster, failure trace, predictor accuracy, and policies — the same
+// sequence of external mutations applied at the same virtual instants
+// reproduces the same state bit for bit. The exported state is therefore
+// the minimal operation journal: every Admit and InjectFailure, each
+// tagged with the clock value it was applied at, plus the final clock.
+// Everything else — running jobs, reservations, checkpoints, lost work —
+// is rederived by replay.
+
+// Op kinds in an engine journal.
+const (
+	OpAdmit = "admit"
+	OpFault = "fault"
+)
+
+// Op is one external mutation applied to an Engine.
+type Op struct {
+	// Now is the virtual clock at the instant the operation was applied.
+	Now  units.Time `json:"now"`
+	Kind string     `json:"kind"`
+
+	// Admit fields.
+	Job    *workload.Job    `json:"job,omitempty"`
+	Quote  *negotiate.Quote `json:"quote,omitempty"`
+	Offers int              `json:"offers,omitempty"`
+
+	// Fault fields. Node is meaningful only when Kind is OpFault (node 0
+	// is valid, so it carries no omitempty).
+	Node int        `json:"node"`
+	At   units.Time `json:"at,omitempty"`
+}
+
+// EngineState is a deterministic export of an Engine built without a workload
+// log: the operation journal and the clock. Restore on a fresh Engine
+// with an identical Config reconstructs the exact state.
+type EngineState struct {
+	Now units.Time `json:"now"`
+	Ops []Op       `json:"ops"`
+}
+
+// ExportState captures the engine's operation journal. Only engines
+// driven through Admit/InjectFailure (no workload log) export faithfully;
+// NewEngine rejects Restore onto a workload-driven engine for the same
+// reason.
+func (s *Engine) ExportState() EngineState {
+	st := EngineState{Now: s.now, Ops: make([]Op, len(s.history))}
+	copy(st.Ops, s.history)
+	return st
+}
+
+// Restore replays an exported journal onto a freshly constructed engine,
+// reproducing the exact state the journal was exported from. The engine
+// must be untouched (clock at zero, nothing admitted) and configured
+// identically to the exporter — callers guard the latter with a config
+// fingerprint. Admit rejections during replay are forwarded: they cannot
+// happen for a journal exported by a compatible engine, so one means the
+// configs diverged.
+func (s *Engine) Restore(st EngineState) error {
+	if s.cfg.Workload != nil && len(s.cfg.Workload.Jobs) > 0 {
+		return fmt.Errorf("sim: cannot restore onto a workload-driven engine")
+	}
+	if s.now != 0 || len(s.history) != 0 || len(s.jobs) != 0 {
+		return fmt.Errorf("sim: cannot restore onto a used engine (now=%v, %d ops, %d jobs)",
+			s.now, len(s.history), len(s.jobs))
+	}
+	for i, op := range st.Ops {
+		// Advance only when the op is in the future: AdvanceTo(now) would
+		// process events at t == now that the live engine, which only moves
+		// the clock strictly forward between ops, left pending. Replay must
+		// leave them pending too or the states diverge.
+		if op.Now > s.now {
+			if err := s.AdvanceTo(op.Now); err != nil {
+				return fmt.Errorf("sim: restore op %d: advance to %v: %w", i, op.Now, err)
+			}
+		}
+		switch op.Kind {
+		case OpAdmit:
+			if op.Job == nil || op.Quote == nil {
+				return fmt.Errorf("sim: restore op %d: admit without job/quote", i)
+			}
+			if err := s.Admit(*op.Job, *op.Quote, op.Offers); err != nil {
+				return fmt.Errorf("sim: restore op %d: admit job %d: %w", i, op.Job.ID, err)
+			}
+		case OpFault:
+			if err := s.InjectFailure(op.Node, op.At); err != nil {
+				return fmt.Errorf("sim: restore op %d: fault: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("sim: restore op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	if st.Now > s.now {
+		if err := s.AdvanceTo(st.Now); err != nil {
+			return fmt.Errorf("sim: restore final advance to %v: %w", st.Now, err)
+		}
+	}
+	return nil
+}
+
+// record appends one applied mutation to the journal. The batch simulator
+// never calls Admit/InjectFailure, so its hot path carries no journal.
+func (s *Engine) record(op Op) {
+	op.Now = s.now
+	s.history = append(s.history, op)
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// stateTestEngine builds a small interactive engine over a fixed failure
+// trace, the same shape qosd runs.
+func stateTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	tr, err := failure.NewTrace(8, []failure.Event{
+		{Time: units.Time(2 * units.Hour), Node: 1, Detectability: 1},
+		{Time: units.Time(30 * units.Hour), Node: 5, Detectability: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(nil, tr)
+	cfg.Nodes = 8
+	cfg.Accuracy = 1
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// driveWorkload runs a deterministic interactive session: admissions from
+// live quotes, an injected fault, and clock advances in between.
+func driveWorkload(t *testing.T, eng *Engine) {
+	t.Helper()
+	admit := func(id, size int, exec units.Duration) {
+		t.Helper()
+		qs := eng.Quotes(size, exec, 3)
+		if len(qs) == 0 {
+			t.Fatalf("no quotes for job %d", id)
+		}
+		job := workload.Job{ID: id, Arrival: eng.Now(), Nodes: size, Exec: exec}
+		if err := eng.Admit(job, qs[0], 1); err != nil {
+			t.Fatalf("admit job %d: %v", id, err)
+		}
+	}
+	admit(1, 2, 4*units.Hour)
+	if err := eng.AdvanceTo(units.Time(30 * units.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	admit(2, 4, 10*units.Hour)
+	if err := eng.InjectFailure(3, eng.Now().Add(1*units.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AdvanceTo(units.Time(3 * units.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	admit(3, 1, 2*units.Hour)
+	if err := eng.AdvanceTo(units.Time(6 * units.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// engineFingerprint captures everything externally observable about an
+// engine: aggregate stats and every job's full status.
+func engineFingerprint(t *testing.T, eng *Engine) string {
+	t.Helper()
+	type fp struct {
+		Stats Stats
+		Jobs  []JobStatus
+	}
+	v := fp{Stats: eng.Stats()}
+	for _, id := range eng.JobIDs() {
+		j, ok := eng.Job(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		v.Jobs = append(v.Jobs, j)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestExportRestoreReproducesState(t *testing.T) {
+	ref := stateTestEngine(t)
+	driveWorkload(t, ref)
+
+	st := ref.ExportState()
+	if len(st.Ops) != 4 { // 3 admits + 1 fault
+		t.Fatalf("exported %d ops, want 4", len(st.Ops))
+	}
+
+	// The state survives a JSON round trip, which is how the snapshot
+	// stores it.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded EngineState
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := stateTestEngine(t)
+	if err := restored.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := engineFingerprint(t, restored), engineFingerprint(t, ref); got != want {
+		t.Fatalf("restored state diverges:\n got %s\nwant %s", got, want)
+	}
+	// The restored journal must match too, so a snapshot of the restored
+	// engine is a snapshot of the original.
+	if !reflect.DeepEqual(restored.ExportState(), ref.ExportState()) {
+		t.Fatal("restored engine exports a different journal")
+	}
+}
+
+// TestRestoredEngineEvolvesIdentically is the property recovery actually
+// relies on: not just equal state at the restore point, but equal futures.
+func TestRestoredEngineEvolvesIdentically(t *testing.T) {
+	ref := stateTestEngine(t)
+	driveWorkload(t, ref)
+	restored := stateTestEngine(t)
+	if err := restored.Restore(ref.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, eng := range []*Engine{ref, restored} {
+		qs := eng.Quotes(2, 3*units.Hour, 2)
+		if len(qs) == 0 {
+			t.Fatal("no quotes after restore point")
+		}
+		job := workload.Job{ID: 9, Arrival: eng.Now(), Nodes: 2, Exec: 3 * units.Hour}
+		if err := eng.Admit(job, qs[0], 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AdvanceTo(units.Time(40 * units.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := engineFingerprint(t, restored), engineFingerprint(t, ref); got != want {
+		t.Fatalf("futures diverge:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestRestoreRefusesUsedEngine(t *testing.T) {
+	ref := stateTestEngine(t)
+	driveWorkload(t, ref)
+	st := ref.ExportState()
+
+	used := stateTestEngine(t)
+	if err := used.AdvanceTo(units.Time(1 * units.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Restore(st); err == nil {
+		t.Fatal("restore onto an advanced engine succeeded")
+	}
+}
+
+func TestRestoreRejectsMalformedOps(t *testing.T) {
+	cases := map[string]EngineState{
+		"unknown kind":      {Ops: []Op{{Kind: "teleport"}}},
+		"admit without job": {Ops: []Op{{Kind: OpAdmit}}},
+	}
+	for name, st := range cases {
+		t.Run(name, func(t *testing.T) {
+			eng := stateTestEngine(t)
+			if err := eng.Restore(st); err == nil {
+				t.Fatal("malformed journal accepted")
+			}
+		})
+	}
+}
+
+// TestBatchRunRecordsNoHistory pins the bench-parity guarantee: the batch
+// simulator's arrival path must not touch the journal.
+func TestBatchRunRecordsNoHistory(t *testing.T) {
+	tr, err := failure.NewTrace(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &workload.Log{Jobs: []workload.Job{
+		{ID: 1, Arrival: 0, Nodes: 2, Exec: 1 * units.Hour},
+		{ID: 2, Arrival: units.Time(10 * units.Minute), Nodes: 1, Exec: 2 * units.Hour},
+	}}
+	cfg := DefaultConfig(log, tr)
+	cfg.Nodes = 4
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.ExportState(); len(st.Ops) != 0 {
+		t.Fatalf("batch run journaled %d ops", len(st.Ops))
+	}
+}

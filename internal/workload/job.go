@@ -18,19 +18,19 @@ import (
 // to be exact.
 type Job struct {
 	// ID identifies the job within its log (1-based, unique).
-	ID int
+	ID int `json:"id"`
 	// Arrival is the submission instant v_j.
-	Arrival units.Time
+	Arrival units.Time `json:"arrival"`
 	// Nodes is the job size n_j in nodes.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// Exec is the execution time e_j excluding all checkpoint overhead.
-	Exec units.Duration
+	Exec units.Duration `json:"exec_seconds"`
 	// Estimate is the user-supplied runtime estimate the system plans
 	// with. Zero means exact (the paper's assumption: "our simulations
 	// assume that the estimated execution times are accurate"). Real users
 	// overestimate, which the generators can model; see
 	// GenConfig.EstimateInflation.
-	Estimate units.Duration
+	Estimate units.Duration `json:"estimate_seconds,omitempty"`
 }
 
 // PlanExec returns the runtime the system should plan with: the user
