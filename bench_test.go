@@ -37,6 +37,7 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %q not found", id)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env := experiment.NewEnv()
 		env.JobCount = benchJobs()

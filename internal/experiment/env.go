@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -19,6 +20,9 @@ import (
 	"probqos/internal/units"
 	"probqos/internal/workload"
 )
+
+// simRun indirects sim.Run so tests can count or stub point computations.
+var simRun = sim.Run
 
 // Env carries the shared inputs (workloads, failure trace) and memoizes
 // simulation points, since the figures share many (log, a, U) runs.
@@ -39,12 +43,12 @@ type Env struct {
 	mu             sync.Mutex
 	progressDone   int
 	progressQueued int
-	logs           map[string]*workload.Log
-	trace          *failure.Trace
-	altTraces      map[string]*failure.Trace
-	rawLog         []failure.RawEvent
-	monitor        *health.Monitor
+	logs           map[string]*memo[*workload.Log]
+	traceMemo      memo[*failure.Trace]
+	altTraces      map[string]*memo[*failure.Trace]
+	monitorMemo    memo[*health.Monitor]
 	points         map[pointKey]metrics.Report
+	inflight       map[pointKey]*inflightPoint
 }
 
 type pointKey struct {
@@ -53,12 +57,42 @@ type pointKey struct {
 	variant string
 }
 
+// memo gates one expensive shared resource behind a sync.Once so concurrent
+// first callers build it exactly once and everyone waits on the same build
+// instead of racing to be the last writer. A failed build is memoized too:
+// these generators fail only on invalid configuration, which retrying
+// cannot fix.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.once.Do(func() { m.val, m.err = build() })
+	return m.val, m.err
+}
+
+// inflightPoint is one simulation point being computed right now: waiters
+// block on done instead of recomputing. The fields are written only by the
+// owner before it closes done.
+type inflightPoint struct {
+	done chan struct{}
+	r    metrics.Report
+	err  error
+}
+
+// errAbandoned marks an inflight point whose owning Prefetch aborted before
+// computing it; waiters claim the key and compute it themselves.
+var errAbandoned = errors.New("experiment: inflight point abandoned")
+
 // NewEnv returns an Env at the paper's full scale.
 func NewEnv() *Env {
 	return &Env{
-		logs:      make(map[string]*workload.Log),
-		altTraces: make(map[string]*failure.Trace),
+		logs:      make(map[string]*memo[*workload.Log]),
+		altTraces: make(map[string]*memo[*failure.Trace]),
 		points:    make(map[pointKey]metrics.Report),
+		inflight:  make(map[pointKey]*inflightPoint),
 	}
 }
 
@@ -69,34 +103,32 @@ func (e *Env) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Log returns the named synthetic workload, generating it on first use.
-func (e *Env) Log(name string) (*workload.Log, error) {
+// logMemo returns the memo cell for a workload key, creating it on first
+// use. Only the map access holds the mutex; generation runs outside it so
+// workers building different logs do not serialize.
+func (e *Env) logMemo(key string) *memo[*workload.Log] {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if l, ok := e.logs[name]; ok {
-		return l, nil
+	m, ok := e.logs[key]
+	if !ok {
+		m = &memo[*workload.Log]{}
+		e.logs[key] = m
 	}
-	l, err := workload.Generate(name, workload.GenConfig{Jobs: e.JobCount, Seed: e.Seed})
-	if err != nil {
-		return nil, err
-	}
-	e.logs[name] = l
-	return l, nil
+	return m
+}
+
+// Log returns the named synthetic workload, generating it on first use.
+func (e *Env) Log(name string) (*workload.Log, error) {
+	return e.logMemo(name).get(func() (*workload.Log, error) {
+		return workload.Generate(name, workload.GenConfig{Jobs: e.JobCount, Seed: e.Seed})
+	})
 }
 
 // Trace returns the shared failure trace, generating it on first use.
 func (e *Env) Trace() (*failure.Trace, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.trace != nil {
-		return e.trace, nil
-	}
-	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: e.Seed}, failure.FilterConfig{})
-	if err != nil {
-		return nil, err
-	}
-	e.trace = tr
-	return tr, nil
+	return e.traceMemo.get(func() (*failure.Trace, error) {
+		return failure.GenerateTrace(failure.RawConfig{Seed: e.Seed}, failure.FilterConfig{})
+	})
 }
 
 // Variants are the named configuration ablations. The empty name is the
@@ -132,73 +164,46 @@ var variants = map[string]func(*sim.Config){
 // Monitor returns the shared health-monitoring predictor, building the raw
 // log and telemetry on first use. The raw log uses the same configuration
 // as Trace(), so the monitor's ground truth is the trace the simulator
-// replays.
+// replays. Concurrent first callers share one build: the generation used to
+// run outside the mutex, so each caller built its own monitor and the last
+// writer won.
 func (e *Env) Monitor() (*health.Monitor, error) {
-	e.mu.Lock()
-	if e.monitor != nil {
-		m := e.monitor
-		e.mu.Unlock()
-		return m, nil
-	}
-	e.mu.Unlock()
-	raw := failure.GenerateRawLog(failure.RawConfig{Seed: e.Seed})
-	telemetry, err := health.Generate(health.TelemetryConfig{Seed: e.Seed}, raw)
-	if err != nil {
-		return nil, err
-	}
-	m, err := health.NewMonitor(telemetry, raw, health.MonitorConfig{})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.rawLog = raw
-	e.monitor = m
-	e.mu.Unlock()
-	return m, nil
+	return e.monitorMemo.get(func() (*health.Monitor, error) {
+		raw := failure.GenerateRawLog(failure.RawConfig{Seed: e.Seed})
+		telemetry, err := health.Generate(health.TelemetryConfig{Seed: e.Seed}, raw)
+		if err != nil {
+			return nil, err
+		}
+		return health.NewMonitor(telemetry, raw, health.MonitorConfig{})
+	})
 }
 
 // inflatedLog returns the memoized estimate-inflated twin of a workload.
 func (e *Env) inflatedLog(name string) (*workload.Log, error) {
-	key := "inflated/" + name
-	e.mu.Lock()
-	if l, ok := e.logs[key]; ok {
-		e.mu.Unlock()
-		return l, nil
-	}
-	e.mu.Unlock()
-	l, err := workload.Generate(name, workload.GenConfig{
-		Jobs: e.JobCount, Seed: e.Seed, EstimateInflation: 0.8,
+	return e.logMemo("inflated/" + name).get(func() (*workload.Log, error) {
+		return workload.Generate(name, workload.GenConfig{
+			Jobs: e.JobCount, Seed: e.Seed, EstimateInflation: 0.8,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.logs[key] = l
-	e.mu.Unlock()
-	return l, nil
 }
 
 // stochasticTrace returns the memoized statistical-model trace for a
 // failure-model variant, matched to the real trace's rate.
 func (e *Env) stochasticTrace(variant string) (*failure.Trace, error) {
-	kind := failure.Exponential
-	if variant == "weibull-failures" {
-		kind = failure.WeibullDecreasing
-	}
 	e.mu.Lock()
-	if tr, ok := e.altTraces[variant]; ok {
-		e.mu.Unlock()
-		return tr, nil
+	m, ok := e.altTraces[variant]
+	if !ok {
+		m = &memo[*failure.Trace]{}
+		e.altTraces[variant] = m
 	}
 	e.mu.Unlock()
-	tr, err := failure.GenerateStochastic(failure.StochasticConfig{Kind: kind, Seed: e.Seed})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.altTraces[variant] = tr
-	e.mu.Unlock()
-	return tr, nil
+	return m.get(func() (*failure.Trace, error) {
+		kind := failure.Exponential
+		if variant == "weibull-failures" {
+			kind = failure.WeibullDecreasing
+		}
+		return failure.GenerateStochastic(failure.StochasticConfig{Kind: kind, Seed: e.Seed})
+	})
 }
 
 // VariantNames lists the ablation variants in a stable order.
@@ -257,26 +262,62 @@ func (e *Env) noteSkipped(n int) {
 }
 
 // Point runs (or recalls) one simulation at (log, a, u) under the named
-// variant and returns its metrics.
+// variant and returns its metrics. A point already being computed — by a
+// concurrent Point call or a Prefetch worker — is joined, not recomputed:
+// the caller waits on the in-flight result instead of running the
+// simulation a second time (and double-counting it in the progress tally).
 func (e *Env) Point(log string, a, u float64, variant string) (metrics.Report, error) {
 	key := pointKey{log: log, a: a, u: u, variant: variant}
-	e.mu.Lock()
-	if r, ok := e.points[key]; ok {
+	for {
+		e.mu.Lock()
+		if r, ok := e.points[key]; ok {
+			e.mu.Unlock()
+			return r, nil
+		}
+		if c, ok := e.inflight[key]; ok {
+			e.mu.Unlock()
+			<-c.done
+			if c.err == errAbandoned {
+				continue // the owner bailed before computing; claim the key
+			}
+			return c.r, c.err
+		}
+		c := &inflightPoint{done: make(chan struct{})}
+		e.inflight[key] = c
 		e.mu.Unlock()
-		return r, nil
+		e.noteQueued(1)
+		e.computePoint(key, c)
+		return c.r, c.err
 	}
-	e.mu.Unlock()
+}
 
-	e.noteQueued(1)
-	r, err := e.compute(key)
-	if err != nil {
-		return metrics.Report{}, err
-	}
+// computePoint runs the simulation for an inflight entry the caller owns,
+// publishes the result, settles the progress tally, and wakes waiters.
+func (e *Env) computePoint(key pointKey, c *inflightPoint) {
+	c.r, c.err = e.compute(key)
 	e.mu.Lock()
-	e.points[key] = r
+	if c.err == nil {
+		e.points[key] = c.r
+	}
+	delete(e.inflight, key)
 	e.mu.Unlock()
-	e.noteDone()
-	return r, nil
+	if c.err == nil {
+		e.noteDone()
+	} else {
+		e.noteSkipped(1)
+	}
+	close(c.done)
+}
+
+// abandonPoint releases an owned inflight entry without computing it (its
+// Prefetch aborted); waiters retry and take over the key.
+func (e *Env) abandonPoint(key pointKey, c *inflightPoint) {
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	c.err = errAbandoned
+	e.noteSkipped(1)
+	close(c.done)
 }
 
 func (e *Env) compute(key pointKey) (metrics.Report, error) {
@@ -317,7 +358,7 @@ func (e *Env) compute(key pointKey) (metrics.Report, error) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := sim.Run(cfg)
+	res, err := simRun(cfg)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("experiment: %s a=%.1f U=%.1f %q: %w",
 			key.log, key.a, key.u, key.variant, err)
@@ -333,31 +374,45 @@ type PointSpec struct {
 }
 
 // Prefetch evaluates the points concurrently (bounded by Workers) so later
-// Point calls hit the cache. The first error aborts remaining work.
+// Point calls hit the cache. The first error aborts remaining work. Points
+// another caller is already computing are joined rather than recomputed.
 func (e *Env) Prefetch(specs []PointSpec) error {
-	// Deduplicate and drop already-cached points.
+	// Deduplicate, drop cached points, and claim ownership of the rest;
+	// keys already in flight elsewhere are collected to join afterwards.
+	type ownedPoint struct {
+		key pointKey
+		c   *inflightPoint
+	}
 	e.mu.Lock()
 	seen := make(map[pointKey]bool, len(specs))
-	var todo []pointKey
+	var todo []ownedPoint
+	var joins []pointKey
 	for _, s := range specs {
 		key := pointKey{log: s.Log, a: s.A, u: s.U, variant: s.Variant}
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		if _, ok := e.points[key]; !ok {
-			todo = append(todo, key)
+		if _, ok := e.points[key]; ok {
+			continue
 		}
+		if _, ok := e.inflight[key]; ok {
+			joins = append(joins, key)
+			continue
+		}
+		c := &inflightPoint{done: make(chan struct{})}
+		e.inflight[key] = c
+		todo = append(todo, ownedPoint{key: key, c: c})
 	}
 	e.mu.Unlock()
-	if len(todo) == 0 {
+	if len(todo) == 0 && len(joins) == 0 {
 		return nil
 	}
 	e.noteQueued(len(todo))
 
 	var (
 		wg       sync.WaitGroup
-		work     = make(chan pointKey)
+		work     = make(chan ownedPoint)
 		errOnce  sync.Once
 		firstErr error
 		aborted  = make(chan struct{})
@@ -372,31 +427,25 @@ func (e *Env) Prefetch(specs []PointSpec) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for key := range work {
+			for op := range work {
 				select {
 				case <-aborted:
 					// A key handed over in the same select round as the
 					// abort: drop it uncomputed.
-					e.noteSkipped(1)
+					e.abandonPoint(op.key, op.c)
 					continue
 				default:
 				}
-				r, err := e.compute(key)
-				if err != nil {
-					abort(err)
-					e.noteSkipped(1)
-					continue
+				e.computePoint(op.key, op.c)
+				if op.c.err != nil {
+					abort(op.c.err)
 				}
-				e.mu.Lock()
-				e.points[key] = r
-				e.mu.Unlock()
-				e.noteDone()
 			}
 		}()
 	}
 	dispatched := len(todo)
 dispatch:
-	for i, key := range todo {
+	for i, op := range todo {
 		// The non-blocking check makes the cutoff deterministic once the
 		// abort lands; the blocking select alone could keep picking the
 		// send branch while workers drain.
@@ -410,13 +459,26 @@ dispatch:
 		case <-aborted:
 			dispatched = i
 			break dispatch
-		case work <- key:
+		case work <- op:
 		}
 	}
 	// Everything not handed out is abandoned; each key leaves the progress
-	// tally exactly once (here, or in the worker that received it).
-	e.noteSkipped(len(todo) - dispatched)
+	// tally exactly once (here, or in the worker that received it), and its
+	// waiters — if any — are released to claim the key themselves.
+	for _, op := range todo[dispatched:] {
+		e.abandonPoint(op.key, op.c)
+	}
 	close(work)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	// Join points other callers were computing; Point waits on the live
+	// entry (or recomputes if its owner abandoned it).
+	for _, key := range joins {
+		if _, err := e.Point(key.log, key.a, key.u, key.variant); err != nil {
+			return err
+		}
+	}
+	return nil
 }

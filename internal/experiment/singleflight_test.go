@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probqos/internal/health"
+	"probqos/internal/sim"
+)
+
+// stubSimRun replaces the simulator with a counter that holds every call
+// long enough that concurrent requests for the same point overlap unless a
+// singleflight layer dedupes them.
+func stubSimRun(t *testing.T, calls *atomic.Int32, hold time.Duration) {
+	t.Helper()
+	old := simRun
+	simRun = func(cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		time.Sleep(hold)
+		return &sim.Result{}, nil
+	}
+	t.Cleanup(func() { simRun = old })
+}
+
+// TestConcurrentPointsRunSimulationOnce pins the singleflight contract:
+// many concurrent Point calls for one key run the simulation once, everyone
+// gets the shared result, and the progress tally counts the point once —
+// not once per caller.
+func TestConcurrentPointsRunSimulationOnce(t *testing.T) {
+	var calls atomic.Int32
+	stubSimRun(t, &calls, 50*time.Millisecond)
+	e := testEnv()
+
+	const callers = 8
+	var start, done sync.WaitGroup
+	start.Add(callers)
+	done.Add(callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Done()
+			start.Wait() // release all callers at once
+			_, errs[i] = e.Point("SDSC", 0.5, 0.5, "")
+		}(i)
+	}
+	done.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("sim ran %d times for one point under %d concurrent callers, want 1", n, callers)
+	}
+	e.mu.Lock()
+	doneN, queued := e.progressDone, e.progressQueued
+	e.mu.Unlock()
+	if doneN != 1 || queued != 1 {
+		t.Errorf("progress done=%d queued=%d, want 1/1 (the shared point counted once)", doneN, queued)
+	}
+}
+
+// TestPointJoinsPrefetchInFlight overlaps Point and Prefetch requests for
+// the same grid: each distinct key must be simulated exactly once no matter
+// which caller gets there first.
+func TestPointJoinsPrefetchInFlight(t *testing.T) {
+	var calls atomic.Int32
+	stubSimRun(t, &calls, 50*time.Millisecond)
+	e := testEnv()
+	e.Workers = 2
+
+	specs := []PointSpec{
+		{Log: "SDSC", A: 0.3, U: 0.5},
+		{Log: "SDSC", A: 0.7, U: 0.5},
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	errs := make([]error, 3)
+	go func() { defer wg.Done(); errs[0] = e.Prefetch(specs) }()
+	go func() { defer wg.Done(); errs[1] = e.Prefetch(specs) }()
+	go func() { defer wg.Done(); _, errs[2] = e.Point("SDSC", 0.3, 0.5, "") }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("sim ran %d times for two distinct points, want 2", n)
+	}
+	e.mu.Lock()
+	doneN, queued := e.progressDone, e.progressQueued
+	e.mu.Unlock()
+	if doneN != 2 || queued != 2 {
+		t.Errorf("progress done=%d queued=%d, want 2/2", doneN, queued)
+	}
+}
+
+// TestSharedResourcesBuildOnce hammers the shared-resource memoizers with
+// concurrent first callers: every caller must receive the same instance.
+// Before the once-gating, each first caller built its own monitor/log/trace
+// outside the mutex and the last writer won, so callers could hold an
+// instance the cache later disagreed with (and the race detector flags the
+// duplicated generator work touching shared state).
+func TestSharedResourcesBuildOnce(t *testing.T) {
+	e := testEnv()
+	const callers = 4
+	var wg sync.WaitGroup
+	monitors := make([]*health.Monitor, callers)
+	logs := make([]any, callers)
+	traces := make([]any, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			m, err := e.Monitor()
+			if err != nil {
+				t.Errorf("Monitor: %v", err)
+				return
+			}
+			monitors[i] = m
+			l, err := e.inflatedLog("SDSC")
+			if err != nil {
+				t.Errorf("inflatedLog: %v", err)
+				return
+			}
+			logs[i] = l
+			tr, err := e.stochasticTrace("poisson-failures")
+			if err != nil {
+				t.Errorf("stochasticTrace: %v", err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if monitors[i] != monitors[0] {
+			t.Errorf("caller %d got a different monitor instance", i)
+		}
+		if logs[i] != logs[0] {
+			t.Errorf("caller %d got a different inflated log instance", i)
+		}
+		if traces[i] != traces[0] {
+			t.Errorf("caller %d got a different stochastic trace instance", i)
+		}
+	}
+}

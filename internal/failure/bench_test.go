@@ -9,6 +9,7 @@ import (
 // BenchmarkGenerateAndFilter measures the full trace pipeline: raw log
 // generation plus root-cause filtering for a year of 128-node history.
 func BenchmarkGenerateAndFilter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := GenerateTrace(RawConfig{Seed: int64(i)}, FilterConfig{}); err != nil {
 			b.Fatal(err)
@@ -19,14 +20,25 @@ func BenchmarkGenerateAndFilter(b *testing.B) {
 // BenchmarkTraceScan measures the windowed multi-node query the predictor
 // performs on every risk estimate.
 func BenchmarkTraceScan(b *testing.B) {
+	benchScan(b, 16)
+}
+
+// BenchmarkTraceScanSingleNode measures the single-node window query that
+// ScanNode answers without a cursor slice or tournament merge.
+func BenchmarkTraceScanSingleNode(b *testing.B) {
+	benchScan(b, 1)
+}
+
+func benchScan(b *testing.B, width int) {
 	tr, err := GenerateTrace(RawConfig{Seed: 3}, FilterConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	nodes := make([]int, 16)
+	nodes := make([]int, width)
 	for i := range nodes {
-		nodes[i] = i * 8
+		nodes[i] = i * (128 / width)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from := units.Time(i%2000) * 3600

@@ -13,7 +13,88 @@ import (
 type Trace struct {
 	events  []Event
 	nodes   int
-	perNode [][]int // indices into events, per node, ascending in time
+	perNode []nodeIndex
+}
+
+// nodeIndex is the per-node query index: one node's failures in ascending
+// time order, with times and detectabilities unpacked into flat arrays for
+// cache-friendly binary search, plus a min-detectability segment tree that
+// answers "first event in [i, j) with detectability <= a" in O(log k).
+// The scheduler's node-scoring loop issues that exact query once per free
+// node per candidate start, which makes it the hottest read in the system.
+type nodeIndex struct {
+	pos   []int        // indices into Trace.events
+	times []units.Time // times[i] == events[pos[i]].Time (ascending)
+	det   []float64    // det[i] == events[pos[i]].Detectability
+	tree  []float64    // 1-based min segment tree over det; leaves at [size, size+len)
+	size  int          // leaf span: smallest power of two >= len(pos)
+}
+
+// detSentinel pads segment-tree leaves past the event count; any valid
+// detectability (<= 1) compares below it.
+const detSentinel = 2.0
+
+func (ix *nodeIndex) build() {
+	n := len(ix.pos)
+	if n == 0 {
+		return
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	tree := make([]float64, 2*size)
+	for i := range tree {
+		tree[i] = detSentinel
+	}
+	copy(tree[size:], ix.det)
+	for i := size - 1; i >= 1; i-- {
+		l, r := tree[2*i], tree[2*i+1]
+		if r < l {
+			l = r
+		}
+		tree[i] = l
+	}
+	ix.tree = tree
+	ix.size = size
+}
+
+// searchTime returns the first position whose event time is >= t.
+func (ix *nodeIndex) searchTime(t units.Time) int {
+	lo, hi := 0, len(ix.times)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.times[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// firstLE returns the leftmost position in [lo, hi) with detectability <= a,
+// or -1. It descends the segment tree, pruning subtrees whose minimum
+// already exceeds a.
+func (ix *nodeIndex) firstLE(lo, hi int, a float64) int {
+	if ix.size == 0 || lo >= hi {
+		return -1
+	}
+	return treeFirstLE(ix.tree, 1, 0, ix.size, lo, hi, a)
+}
+
+func treeFirstLE(tree []float64, node, nl, nh, lo, hi int, a float64) int {
+	if nl >= hi || nh <= lo || tree[node] > a {
+		return -1
+	}
+	if nh-nl == 1 {
+		return nl
+	}
+	mid := (nl + nh) / 2
+	if r := treeFirstLE(tree, 2*node, nl, mid, lo, hi, a); r >= 0 {
+		return r
+	}
+	return treeFirstLE(tree, 2*node+1, mid, nh, lo, hi, a)
 }
 
 // NewTrace builds a trace over a cluster of n nodes. Events are copied and
@@ -26,7 +107,7 @@ func NewTrace(nodes int, events []Event) (*Trace, error) {
 	t := &Trace{
 		events:  make([]Event, len(events)),
 		nodes:   nodes,
-		perNode: make([][]int, nodes),
+		perNode: make([]nodeIndex, nodes),
 	}
 	copy(t.events, events)
 	sort.SliceStable(t.events, func(i, j int) bool { return t.events[i].Time < t.events[j].Time })
@@ -37,7 +118,13 @@ func NewTrace(nodes int, events []Event) (*Trace, error) {
 		if e.Detectability < 0 || e.Detectability > 1 {
 			return nil, fmt.Errorf("failure: event %d has detectability %v outside [0,1]", i, e.Detectability)
 		}
-		t.perNode[e.Node] = append(t.perNode[e.Node], i)
+		ix := &t.perNode[e.Node]
+		ix.pos = append(ix.pos, i)
+		ix.times = append(ix.times, e.Time)
+		ix.det = append(ix.det, e.Detectability)
+	}
+	for n := range t.perNode {
+		t.perNode[n].build()
 	}
 	return t, nil
 }
@@ -60,7 +147,7 @@ func (t *Trace) At(i int) Event { return t.events[i] }
 
 // NodeEvents returns the failures of one node in time order.
 func (t *Trace) NodeEvents(node int) []Event {
-	idx := t.perNode[node]
+	idx := t.perNode[node].pos
 	out := make([]Event, len(idx))
 	for i, k := range idx {
 		out[i] = t.events[k]
@@ -70,29 +157,83 @@ func (t *Trace) NodeEvents(node int) []Event {
 
 // NextOnNode returns the first failure of node at or after from, if any.
 func (t *Trace) NextOnNode(node int, from units.Time) (Event, bool) {
-	idx := t.perNode[node]
-	i := sort.Search(len(idx), func(i int) bool { return t.events[idx[i]].Time >= from })
-	if i == len(idx) {
+	ix := &t.perNode[node]
+	i := ix.searchTime(from)
+	if i == len(ix.pos) {
 		return Event{}, false
 	}
-	return t.events[idx[i]], true
+	return t.events[ix.pos[i]], true
+}
+
+// ScanNode calls fn for each failure of one node with Time in [from, to), in
+// ascending time order, stopping early if fn returns false. It is the
+// allocation-free single-node fast path under Scan: one binary search into
+// the per-node index, then a linear walk that needs no cursor slice and no
+// tournament merge.
+func (t *Trace) ScanNode(node int, from, to units.Time, fn func(Event) bool) {
+	ix := &t.perNode[node]
+	for i := ix.searchTime(from); i < len(ix.times) && ix.times[i] < to; i++ {
+		if !fn(t.events[ix.pos[i]]) {
+			return
+		}
+	}
+}
+
+// FirstDetectableOnNode returns the earliest failure of one node with Time
+// in [from, to) and Detectability <= maxDet. It answers from the per-node
+// segment tree in O(log k) without visiting the skipped events — the
+// scheduler's node-scoring query, which a linear walk pays for once per
+// undetectable event in the window.
+func (t *Trace) FirstDetectableOnNode(node int, from, to units.Time, maxDet float64) (Event, bool) {
+	ix := &t.perNode[node]
+	lo := ix.searchTime(from)
+	if lo == len(ix.times) || ix.times[lo] >= to {
+		return Event{}, false // empty window: the overwhelmingly common case
+	}
+	if ix.det[lo] <= maxDet {
+		return t.events[ix.pos[lo]], true // first event already detectable
+	}
+	hi := lo + searchTimes(ix.times[lo:], to)
+	i := ix.firstLE(lo+1, hi, maxDet)
+	if i < 0 {
+		return Event{}, false
+	}
+	return t.events[ix.pos[i]], true
+}
+
+// searchTimes returns the first position in times with value >= t.
+func searchTimes(times []units.Time, t units.Time) int {
+	lo, hi := 0, len(times)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if times[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Scan calls fn for each failure with Time in [from, to) on any of the given
 // nodes, in ascending time order, stopping early if fn returns false.
-// It runs in O(len(nodes) * log(events) + hits) by merging per-node streams.
+// It runs in O(len(nodes) * log(events) + hits) by merging per-node streams;
+// single-node queries take the ScanNode fast path.
 func (t *Trace) Scan(nodes []int, from, to units.Time, fn func(Event) bool) {
+	if len(nodes) == 1 {
+		t.ScanNode(nodes[0], from, to, fn)
+		return
+	}
 	// cursor[i] is the next per-node index not yet yielded for nodes[i].
 	cursors := make([]int, len(nodes))
 	for i, n := range nodes {
-		idx := t.perNode[n]
-		cursors[i] = sort.Search(len(idx), func(k int) bool { return t.events[idx[k]].Time >= from })
+		cursors[i] = t.perNode[n].searchTime(from)
 	}
 	for {
 		best := -1
 		var bestEvent Event
 		for i, n := range nodes {
-			idx := t.perNode[n]
+			idx := t.perNode[n].pos
 			if cursors[i] >= len(idx) {
 				continue
 			}
@@ -110,7 +251,8 @@ func (t *Trace) Scan(nodes []int, from, to units.Time, fn func(Event) bool) {
 			return
 		}
 		for i, n := range nodes {
-			if c := cursors[i]; c < len(t.perNode[n]) && t.perNode[n][c] == best {
+			pos := t.perNode[n].pos
+			if c := cursors[i]; c < len(pos) && pos[c] == best {
 				cursors[i]++
 			}
 		}
@@ -152,9 +294,9 @@ func (t *Trace) Stats() Stats {
 	s.ClusterMTBF = s.Span / units.Duration(s.Failures-1)
 	s.NodeMTBF = s.ClusterMTBF * units.Duration(t.nodes)
 	s.PerDay = float64(s.Failures) / (s.Span.Seconds() / units.Day.Seconds())
-	for _, idx := range t.perNode {
-		if len(idx) > s.MaxPerNode {
-			s.MaxPerNode = len(idx)
+	for n := range t.perNode {
+		if k := len(t.perNode[n].pos); k > s.MaxPerNode {
+			s.MaxPerNode = k
 		}
 	}
 	return s

@@ -148,16 +148,37 @@ func (m *Monitor) PFail(nodes []int, from, to units.Time) float64 {
 		if n < 0 || n >= m.telemetry.Nodes() {
 			continue
 		}
-		score := m.nodeScore(n, from)
-		p := 1 - math.Exp(-score)
-		if p > m.maxPrognosis {
-			p = m.maxPrognosis
-		}
-		survive *= 1 - p
+		survive *= 1 - m.nodeRisk(n, from)
 	}
-	risk := 1 - survive
-	// Confidence decays for windows far from the observed signal: a
-	// prognosis is about the near future.
+	return m.decayRisk(1-survive, from, to)
+}
+
+// PFailNode implements predict.NodePredictor: the single-node estimate the
+// scheduler's scoring loop asks for, without the partition loop.
+func (m *Monitor) PFailNode(node int, from, to units.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	survive := 1.0
+	if node >= 0 && node < m.telemetry.Nodes() {
+		survive = 1 - m.nodeRisk(node, from)
+	}
+	return m.decayRisk(1-survive, from, to)
+}
+
+// nodeRisk converts one node's hazard score into a capped probability.
+func (m *Monitor) nodeRisk(node int, asOf units.Time) float64 {
+	p := 1 - math.Exp(-m.nodeScore(node, asOf))
+	if p > m.maxPrognosis {
+		p = m.maxPrognosis
+	}
+	return p
+}
+
+// decayRisk applies the forecast-distance discount: confidence decays for
+// windows far from the observed signal — a prognosis is about the near
+// future.
+func (m *Monitor) decayRisk(risk float64, from, to units.Time) float64 {
 	width := to.Sub(from)
 	if width > m.horizon {
 		risk *= math.Exp2(-float64(width-m.horizon) / float64(m.horizon))

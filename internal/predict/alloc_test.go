@@ -1,0 +1,112 @@
+package predict
+
+import (
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+)
+
+// testTrace builds the shared trace the allocation tests query.
+func testTrace(t *testing.T) *failure.Trace {
+	t.Helper()
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 1}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSingleNodePFailAllocationFree pins the hot-loop contract: the
+// single-node risk query — both through PFailNode and through PFail with a
+// caller-owned one-element slice — must not allocate. The scheduler issues
+// it once per free node per candidate start, so one allocation here is
+// millions per sweep.
+func TestSingleNodePFailAllocationFree(t *testing.T) {
+	tr := testTrace(t)
+	base, err := NewBaseRate(45 * units.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePred, err := NewTrace(tr, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decaying, err := NewDecaying(tr, 0.7, 6*units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := NewMax(tracePred, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	preds := []struct {
+		name string
+		p    NodePredictor
+	}{
+		{"Trace", tracePred},
+		{"Decaying", decaying},
+		{"BaseRate", base},
+		{"Max", max},
+		{"Null", Null{}},
+	}
+	for _, tc := range preds {
+		i := 0
+		avg := testing.AllocsPerRun(500, func() {
+			from := units.Time(i%1000) * 3600
+			tc.p.PFailNode(i%128, from, from.Add(6*units.Hour))
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s.PFailNode allocates %.1f/op, want 0", tc.name, avg)
+		}
+	}
+
+	// The general interface with a reused single-element slice must take
+	// the same allocation-free path.
+	nodes := make([]int, 1)
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		nodes[0] = i % 128
+		from := units.Time(i%1000) * 3600
+		tracePred.PFail(nodes, from, from.Add(6*units.Hour))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Trace.PFail(single node) allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestPFailNodeMatchesScanPath cross-checks the index-backed fast path
+// against the generic multi-node scan on every (node, window) pair of a
+// real trace: the fast path is an optimization, never a different answer.
+func TestPFailNodeMatchesScanPath(t *testing.T) {
+	tr := testTrace(t)
+	for _, a := range []float64{0, 0.3, 0.7, 1} {
+		p, err := NewTrace(tr, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node := 0; node < tr.Nodes(); node++ {
+			for h := 0; h < 200; h++ {
+				from := units.Time(h) * 7 * 3600
+				to := from.Add(units.Duration(1+h%96) * units.Hour)
+				// The generic path: scan and stop at the first
+				// detectable failure, exactly as PFail used to.
+				var want float64
+				tr.Scan([]int{node, node}, from, to, func(e failure.Event) bool {
+					if e.Detectability <= a {
+						want = e.Detectability
+						return false
+					}
+					return true
+				})
+				if got := p.PFailNode(node, from, to); got != want {
+					t.Fatalf("a=%v node=%d [%v,%v): fast path %v, scan %v",
+						a, node, from, to, got, want)
+				}
+			}
+		}
+	}
+}

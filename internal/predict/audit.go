@@ -55,7 +55,7 @@ func Run(p Predictor, tr *failure.Trace, window units.Duration) Audit {
 	var confSum float64
 	for _, e := range events {
 		from := e.Time.Add(-window / 2)
-		pf := p.PFail([]int{e.Node}, from, from.Add(window))
+		pf := PFailNode(p, e.Node, from, from.Add(window))
 		if pf > 0 {
 			audit.Detected++
 			confSum += pf
@@ -73,7 +73,7 @@ func Run(p Predictor, tr *failure.Trace, window units.Duration) Audit {
 		for from := start; from < end; from = from.Add(window) {
 			to := from.Add(window)
 			audit.Windows++
-			pf := p.PFail([]int{node}, from, to)
+			pf := PFailNode(p, node, from, to)
 			if pf > 0 && len(tr.Window([]int{node}, from, to)) == 0 {
 				audit.FalsePositives++
 			}

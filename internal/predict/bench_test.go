@@ -28,6 +28,7 @@ func BenchmarkTracePFail(b *testing.B) {
 	for i := range nodes {
 		nodes[i] = i * 8
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from := units.Time(i%1000) * 3600
@@ -43,6 +44,7 @@ func BenchmarkTracePFailSingleNode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from := units.Time(i%1000) * 3600
@@ -57,6 +59,7 @@ func BenchmarkBaseRatePFail(b *testing.B) {
 		b.Fatal(err)
 	}
 	nodes := make([]int, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.PFail(nodes, 0, units.Time(2*units.Hour))

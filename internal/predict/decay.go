@@ -53,8 +53,26 @@ func (p *Decaying) effective(from units.Time, t units.Time) float64 {
 // PFail implements Predictor: the first failure in the window detectable
 // at its horizon-degraded accuracy wins.
 func (p *Decaying) PFail(nodes []int, from, to units.Time) float64 {
+	if len(nodes) == 1 {
+		return p.PFailNode(nodes[0], from, to)
+	}
 	var px float64
 	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
+		if e.Detectability <= p.effective(from, e.Time) {
+			px = e.Detectability
+			return false
+		}
+		return true
+	})
+	return px
+}
+
+// PFailNode implements NodePredictor. The detection threshold decays with
+// each event's distance from the window start, so there is no fixed cutoff
+// to binary-search; the fast path is the allocation-free per-node walk.
+func (p *Decaying) PFailNode(node int, from, to units.Time) float64 {
+	var px float64
+	p.trace.ScanNode(node, from, to, func(e failure.Event) bool {
 		if e.Detectability <= p.effective(from, e.Time) {
 			px = e.Detectability
 			return false

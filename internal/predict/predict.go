@@ -21,12 +21,36 @@ type Predictor interface {
 	PFail(nodes []int, from, to units.Time) float64
 }
 
+// NodePredictor is the optional single-node fast path. The scheduler scores
+// every free node at every candidate start, so this query dominates the
+// quote path; implementations answer it without building a node slice or
+// running the multi-node merge, and must return exactly what
+// PFail([]int{node}, from, to) would.
+type NodePredictor interface {
+	// PFailNode returns the estimated probability that the node fails in
+	// [from, to).
+	PFailNode(node int, from, to units.Time) float64
+}
+
+// PFailNode queries p for a single node through its fast path when it has
+// one, falling back to the general interface otherwise. Callers on a hot
+// loop should type-assert NodePredictor once instead.
+func PFailNode(p Predictor, node int, from, to units.Time) float64 {
+	if np, ok := p.(NodePredictor); ok {
+		return np.PFailNode(node, from, to)
+	}
+	return p.PFail([]int{node}, from, to)
+}
+
 // Null is the no-forecasting predictor: it always reports zero risk. It is
 // the "system that does not use event prediction" baseline.
 type Null struct{}
 
 // PFail always returns 0.
 func (Null) PFail([]int, units.Time, units.Time) float64 { return 0 }
+
+// PFailNode always returns 0.
+func (Null) PFailNode(int, units.Time, units.Time) float64 { return 0 }
 
 // Trace is the deterministic trace-driven predictor of §4.3. Every failure
 // in the trace carries a static detectability p_x in [0,1]. Queried over a
@@ -58,6 +82,9 @@ func (p *Trace) Accuracy() float64 { return p.accuracy }
 
 // PFail implements Predictor.
 func (p *Trace) PFail(nodes []int, from, to units.Time) float64 {
+	if len(nodes) == 1 {
+		return p.PFailNode(nodes[0], from, to)
+	}
 	var px float64
 	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
 		if e.Detectability <= p.accuracy {
@@ -67,6 +94,16 @@ func (p *Trace) PFail(nodes []int, from, to units.Time) float64 {
 		return true
 	})
 	return px
+}
+
+// PFailNode implements NodePredictor: "first failure in the window with
+// p_x <= a" is answered straight from the trace's per-node detectability
+// index, skipping the undetectable events a scan would visit.
+func (p *Trace) PFailNode(node int, from, to units.Time) float64 {
+	if e, ok := p.trace.FirstDetectableOnNode(node, from, to, p.accuracy); ok {
+		return e.Detectability
+	}
+	return 0
 }
 
 // FirstDetectable returns the first failure in the window the predictor can
@@ -121,11 +158,23 @@ func (p *BaseRate) PFail(nodes []int, from, to units.Time) float64 {
 	return 1 - math.Exp(-float64(len(nodes))*w/p.nodeMTBF.Seconds())
 }
 
+// PFailNode implements NodePredictor.
+func (p *BaseRate) PFailNode(_ int, from, to units.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	w := to.Sub(from).Seconds()
+	return 1 - math.Exp(-w/p.nodeMTBF.Seconds())
+}
+
 // Max combines predictors by taking the largest estimate. Blending the
 // trace predictor with a base-rate floor gives the "cooperative" checkpoint
 // policy a hazard estimate even when no specific failure is forecast.
 type Max struct {
 	preds []Predictor
+	// nodePreds[i] is preds[i]'s fast path, or nil; resolved once here so
+	// PFailNode does no per-call type assertions.
+	nodePreds []NodePredictor
 }
 
 // NewMax combines the given predictors. At least one is required.
@@ -133,14 +182,41 @@ func NewMax(preds ...Predictor) (*Max, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("predict: Max needs at least one predictor")
 	}
-	return &Max{preds: preds}, nil
+	m := &Max{preds: preds, nodePreds: make([]NodePredictor, len(preds))}
+	for i, sub := range preds {
+		if np, ok := sub.(NodePredictor); ok {
+			m.nodePreds[i] = np
+		}
+	}
+	return m, nil
 }
 
 // PFail implements Predictor.
 func (p *Max) PFail(nodes []int, from, to units.Time) float64 {
+	if len(nodes) == 1 {
+		return p.PFailNode(nodes[0], from, to)
+	}
 	var best float64
 	for _, sub := range p.preds {
 		if v := sub.PFail(nodes, from, to); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PFailNode implements NodePredictor: the largest single-node estimate,
+// using each sub-predictor's fast path where it exists.
+func (p *Max) PFailNode(node int, from, to units.Time) float64 {
+	var best float64
+	for i, sub := range p.preds {
+		var v float64
+		if np := p.nodePreds[i]; np != nil {
+			v = np.PFailNode(node, from, to)
+		} else {
+			v = sub.PFail([]int{node}, from, to)
+		}
+		if v > best {
 			best = v
 		}
 	}

@@ -10,7 +10,7 @@ import (
 
 // benchScheduler builds a 128-node scheduler loaded with a deep backlog of
 // reservations, the worst case for candidate searches.
-func benchScheduler(b *testing.B, backlog int) *Scheduler {
+func benchScheduler(b testing.TB, backlog int) *Scheduler {
 	b.Helper()
 	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 2}, failure.FilterConfig{})
 	if err != nil {
@@ -39,6 +39,7 @@ func benchScheduler(b *testing.B, backlog int) *Scheduler {
 // new arrival triggers against a 300-reservation profile.
 func BenchmarkEarliestCandidateBacklogged(b *testing.B) {
 	s := benchScheduler(b, 300)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := s.EarliestCandidate(0, 16, 3600); !ok {
@@ -50,6 +51,7 @@ func BenchmarkEarliestCandidateBacklogged(b *testing.B) {
 // BenchmarkReserveRelease measures the reservation bookkeeping cycle.
 func BenchmarkReserveRelease(b *testing.B) {
 	s := benchScheduler(b, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c, ok := s.EarliestCandidate(0, 8, 1800)

@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"probqos/internal/units"
@@ -147,25 +148,23 @@ func (p *profile) gc(now units.Time) {
 	}
 }
 
-// candidateTimes returns the sorted, de-duplicated set of instants at or
-// after from at which node availability can change: from itself plus every
-// interval end after from. A feasible start for any request always lies in
-// this set.
-func (p *profile) candidateTimes(from units.Time) []units.Time {
-	set := map[units.Time]struct{}{from: {}}
+// appendCandidateTimes appends to buf the sorted, de-duplicated set of
+// instants at or after from at which node availability can change: from
+// itself plus every interval end after from. A feasible start for any
+// request always lies in this set. Collecting into the caller's buffer and
+// de-duplicating in place keeps the per-walk cost at one sort with no map
+// and (after warm-up) no allocation.
+func (p *profile) appendCandidateTimes(buf []units.Time, from units.Time) []units.Time {
+	buf = append(buf, from)
 	for _, list := range p.nodes {
 		for _, iv := range list {
 			if iv.end > from {
-				set[iv.end] = struct{}{}
+				buf = append(buf, iv.end)
 			}
 		}
 	}
-	out := make([]units.Time, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf)
+	return slices.Compact(buf)
 }
 
 // validate is a debugging aid: it returns an error if any node's job-owned

@@ -117,7 +117,7 @@ func TestCandidateTimes(t *testing.T) {
 	p.insert(0, interval{start: 100, end: 200, owner: 1})
 	p.insert(1, interval{start: 150, end: 250, owner: 2})
 	p.insert(1, interval{start: 0, end: 50, owner: 3})
-	got := p.candidateTimes(60)
+	got := p.appendCandidateTimes(nil, 60)
 	want := []units.Time{60, 200, 250}
 	if len(got) != len(want) {
 		t.Fatalf("candidateTimes = %v, want %v", got, want)

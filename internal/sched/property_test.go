@@ -3,6 +3,8 @@ package sched
 import (
 	"testing"
 
+	"probqos/internal/failure"
+	"probqos/internal/predict"
 	"probqos/internal/stats"
 	"probqos/internal/units"
 )
@@ -83,6 +85,83 @@ func TestRandomOperationSequencesKeepProfileConsistent(t *testing.T) {
 					t.Fatalf("seed %d step %d: offered node %d busy at %v", seed, step, n, c.Start)
 				}
 			}
+		}
+	}
+}
+
+// TestEveryCandidateIsReservable pins the feasibility claim Candidates
+// makes — including the budget-exhausted fallback's "after the last known
+// busy interval the whole machine is free, so that instant is always
+// feasible". Random profiles (reservations, outages, overlapping forced
+// restarts) are hammered with walks under a tiny candidate budget so the
+// fallback fires constantly, and every yielded candidate must pass Reserve.
+func TestEveryCandidateIsReservable(t *testing.T) {
+	tr, err := failure.GenerateTrace(failure.RawConfig{Seed: 7}, failure.FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := predict.NewTrace(tr, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		src := stats.NewSource(seed)
+		const nodes = 16
+		s := New(nodes, pred,
+			WithMaxCandidates(1+src.Intn(5)), // force the fallback path often
+			WithQuoteSlack(units.Duration(src.Intn(600))),
+		)
+		nextID := 1
+		now := units.Time(0)
+		for step := 0; step < 120; step++ {
+			now = now.Add(units.Duration(src.Intn(900)))
+			switch src.Intn(4) {
+			case 0, 1: // a regular reservation
+				size := 1 + src.Intn(nodes)
+				dur := units.Duration(60 + src.Intn(5000))
+				if c, ok := s.EarliestCandidate(now, size, dur); ok {
+					if _, err := s.Reserve(nextID, c, dur); err != nil {
+						t.Fatalf("seed %d step %d: reserve: %v", seed, step, err)
+					}
+					nextID++
+				}
+			case 2: // a node outage, possibly overlapping reservations
+				n := src.Intn(nodes)
+				s.AddDowntime(n, now, now.Add(units.Duration(30+src.Intn(2000))))
+			default: // a forced restart overlapping whatever is there
+				k := 1 + src.Intn(4)
+				set := make([]int, 0, k)
+				for len(set) < k {
+					n := src.Intn(nodes)
+					dup := false
+					for _, m := range set {
+						if m == n {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						set = append(set, n)
+					}
+				}
+				if _, err := s.ForceReserve(nextID, set, now, units.Duration(60+src.Intn(3000))); err == nil {
+					nextID++
+				}
+			}
+
+			size := 1 + src.Intn(nodes)
+			dur := units.Duration(60 + src.Intn(4000))
+			probeID := 1_000_000 + step
+			s.Candidates(now, size, dur, func(c Candidate) bool {
+				if len(c.Nodes) != size {
+					t.Fatalf("seed %d step %d: candidate has %d nodes, want %d", seed, step, len(c.Nodes), size)
+				}
+				if _, err := s.Reserve(probeID, c, dur); err != nil {
+					t.Fatalf("seed %d step %d: yielded candidate at %v not reservable: %v", seed, step, c.Start, err)
+				}
+				s.Release(probeID)
+				return true // walk the whole budget so the fallback candidate is exercised
+			})
 		}
 	}
 }

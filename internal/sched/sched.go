@@ -67,10 +67,26 @@ type Scheduler struct {
 	n             int
 	profile       *profile
 	predictor     predict.Predictor
+	nodePred      predict.NodePredictor // predictor's single-node fast path, nil without one
 	reservations  map[int]*Reservation
 	faultAware    bool
 	maxCandidates int
 	quoteSlack    units.Duration
+
+	// Scratch buffers reused across Candidates walks. The scheduler is
+	// single-threaded by design (the simulator and qosd both serialize
+	// access), so per-call allocation here is pure overhead: a quote walk
+	// visits up to maxCandidates starts and scores every free node at each.
+	freeScratch   []int
+	scoredScratch []scoredNode
+	timesScratch  []units.Time
+	singleton     [1]int
+}
+
+// scoredNode pairs a node with its predicted window risk during selection.
+type scoredNode struct {
+	node int
+	risk float64
 }
 
 // New creates a scheduler for a cluster of n nodes using the predictor for
@@ -90,10 +106,24 @@ func New(n int, p predict.Predictor, opts ...Option) *Scheduler {
 		faultAware:    true,
 		maxCandidates: 512,
 	}
+	if np, ok := p.(predict.NodePredictor); ok {
+		s.nodePred = np
+	}
 	for _, o := range opts {
 		o.apply(s)
 	}
 	return s
+}
+
+// pfailNode scores one node over a window through the predictor's fast path
+// when it has one; the fallback reuses a persistent one-element slice so the
+// hot loop stays allocation-free either way.
+func (s *Scheduler) pfailNode(node int, from, to units.Time) float64 {
+	if s.nodePred != nil {
+		return s.nodePred.PFailNode(node, from, to)
+	}
+	s.singleton[0] = node
+	return s.predictor.PFail(s.singleton[:], from, to)
 }
 
 // N returns the cluster size.
@@ -105,6 +135,9 @@ func (s *Scheduler) N() int { return s.n }
 // feasible: its nodes are free for [Start, Start+duration) in the current
 // profile. The node set of each candidate is the risk-minimizing choice at
 // that start time (or first-fit when fault-awareness is off).
+//
+// The walk reuses scheduler-owned scratch buffers, so yield must not call
+// back into Candidates or EarliestCandidate on the same Scheduler.
 //
 // Candidates returns the number of options yielded.
 func (s *Scheduler) Candidates(from units.Time, size int, duration units.Duration, yield func(Candidate) bool) int {
@@ -127,7 +160,8 @@ func (s *Scheduler) Candidates(from units.Time, size int, duration units.Duratio
 		return yielded
 	}
 	examined := 1
-	times := s.profile.candidateTimes(from)
+	times := s.profile.appendCandidateTimes(s.timesScratch[:0], from)
+	s.timesScratch = times
 	for _, t := range times {
 		if t == from {
 			continue
@@ -173,38 +207,82 @@ func (s *Scheduler) EarliestCandidate(from units.Time, size int, duration units.
 func (s *Scheduler) pickNodes(start units.Time, size int, duration units.Duration) []int {
 	end := start.Add(duration)
 	riskFrom := start.Add(-s.quoteSlack)
-	free := make([]int, 0, s.n)
+	free := s.freeScratch[:0]
 	for n := 0; n < s.n; n++ {
 		if s.profile.freeDuring(n, start, end) {
 			free = append(free, n)
 		}
 	}
+	s.freeScratch = free
 	if len(free) < size {
 		return nil
 	}
 	if !s.faultAware {
 		return append([]int(nil), free[:size]...)
 	}
-	type scored struct {
-		node int
-		risk float64
-	}
-	scoredNodes := make([]scored, len(free))
-	for i, n := range free {
-		scoredNodes[i] = scored{node: n, risk: s.predictor.PFail([]int{n}, riskFrom, end)}
-	}
-	sort.SliceStable(scoredNodes, func(i, j int) bool {
-		if scoredNodes[i].risk != scoredNodes[j].risk {
-			return scoredNodes[i].risk < scoredNodes[j].risk
+	// Partial selection: only the size lowest-risk nodes are wanted, so a
+	// bounded max-heap (O(free · log size)) replaces sorting every free
+	// node. (risk, node) is a total order, so the selected set — and hence
+	// the returned candidate — is identical to what the full sort chose.
+	heap := s.scoredScratch[:0]
+	for _, n := range free {
+		cand := scoredNode{node: n, risk: s.pfailNode(n, riskFrom, end)}
+		if len(heap) < size {
+			heap = append(heap, cand)
+			heapSiftUp(heap, len(heap)-1)
+		} else if scoredLess(cand, heap[0]) {
+			heap[0] = cand
+			heapSiftDown(heap, 0)
 		}
-		return scoredNodes[i].node < scoredNodes[j].node
-	})
+	}
+	s.scoredScratch = heap
 	nodes := make([]int, size)
-	for i := 0; i < size; i++ {
-		nodes[i] = scoredNodes[i].node
+	for i, sc := range heap {
+		nodes[i] = sc.node
 	}
 	sort.Ints(nodes)
 	return nodes
+}
+
+// scoredLess orders node selection: nodes with no predicted failure first,
+// then the smallest reported probability, ties broken on node ID for
+// determinism.
+func scoredLess(a, b scoredNode) bool {
+	if a.risk != b.risk {
+		return a.risk < b.risk
+	}
+	return a.node < b.node
+}
+
+// heapSiftUp restores the max-heap property (under scoredLess) after
+// appending at index i.
+func heapSiftUp(h []scoredNode, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !scoredLess(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// heapSiftDown restores the max-heap property after replacing the root.
+func heapSiftDown(h []scoredNode, i int) {
+	for {
+		largest := i
+		if l := 2*i + 1; l < len(h) && scoredLess(h[largest], h[l]) {
+			largest = l
+		}
+		if r := 2*i + 2; r < len(h) && scoredLess(h[largest], h[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
 }
 
 // Reserve commits a candidate for a job, inserting its busy intervals into

@@ -20,6 +20,7 @@ func BenchmarkRunSDSCInstrumented(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := sim.DefaultConfig(log, tr)

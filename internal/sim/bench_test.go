@@ -15,6 +15,7 @@ func BenchmarkRunSDSC(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(log, tr)
@@ -33,6 +34,7 @@ func BenchmarkRunNASA(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(log, tr)

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Quote-path performance harness: runs the predictor, trace-scan, scheduler,
+# and simulator micro-benchmarks plus a reduced-scale end-to-end sweep
+# (Figure 1 at PROBQOS_BENCH_JOBS jobs), then folds the results into the
+# BENCH_sweep.json trajectory at the repo root via scripts/benchjson.
+#
+#   scripts/bench.sh                 # full run, appended as label "after"
+#   scripts/bench.sh -label mybox    # name the run
+#   scripts/bench.sh -smoke          # CI mode: fixed iteration counts,
+#                                    # 200-job sweep, no trajectory update
+#
+# Compare two recorded runs with benchstat:
+#   jq -r '.runs[] | select(.label=="baseline").benchfmt[]' BENCH_sweep.json > old.txt
+#   jq -r '.runs[] | select(.label=="after").benchfmt[]'    BENCH_sweep.json > new.txt
+#   benchstat old.txt new.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+label="after"
+out="BENCH_sweep.json"
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -smoke) smoke=1 ;;
+    -label) label="$2"; shift ;;
+    -out) out="$2"; shift ;;
+    *)
+        echo "usage: scripts/bench.sh [-smoke] [-label name] [-out file]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+if [ "$smoke" -eq 1 ]; then
+    # Smoke mode exists to prove the harness itself works (benchmarks build,
+    # run, and parse) on every push, not to produce stable numbers on shared
+    # CI hardware.
+    benchtime="10x"
+    count=1
+    jobs=200
+else
+    benchtime="1s"
+    count=3
+    jobs=1000
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp" "$tmp.json"' EXIT
+
+echo "== predictor micro-benchmarks"
+go test -run '^$' -bench 'PFail' -benchtime "$benchtime" -count "$count" ./internal/predict | tee -a "$tmp"
+
+echo "== trace-scan micro-benchmarks"
+go test -run '^$' -bench 'TraceScan' -benchtime "$benchtime" -count "$count" ./internal/failure | tee -a "$tmp"
+
+echo "== scheduler micro-benchmarks"
+go test -run '^$' -bench 'EarliestCandidate|ReserveRelease' -benchtime "$benchtime" -count "$count" ./internal/sched | tee -a "$tmp"
+
+echo "== simulator benchmarks"
+go test -run '^$' -bench 'BenchmarkRun(SDSC|NASA)$' -benchtime "$benchtime" -count "$count" ./internal/sim | tee -a "$tmp"
+
+echo "== end-to-end sweep (Figure 1, jobs=$jobs)"
+PROBQOS_BENCH_JOBS="$jobs" go test -run '^$' -bench 'BenchmarkFig1QoSvsAccuracySDSC' \
+    -benchtime 1x -count "$count" . | tee -a "$tmp"
+
+if [ "$smoke" -eq 1 ]; then
+    # Still exercise the parser, but throw the trajectory away: CI numbers
+    # are noise and must not churn the checked-in file.
+    go run ./scripts/benchjson -label smoke -jobs "$jobs" -out "$tmp.json" <"$tmp"
+    echo "smoke OK (trajectory not updated)"
+else
+    go run ./scripts/benchjson -label "$label" -jobs "$jobs" \
+        -date "$(date -u +%Y-%m-%d)" -out "$out" <"$tmp"
+fi

@@ -1,0 +1,188 @@
+// Command benchjson folds `go test -bench` output into the repo's
+// BENCH_sweep.json performance trajectory. Each invocation appends (or, for
+// an existing label, replaces) one labelled run holding both parsed numbers
+// and the raw benchfmt lines, so the file stays consumable two ways:
+//
+//	jq '.runs[] | {label, benchmarks}' BENCH_sweep.json
+//	jq -r '.runs[0].benchfmt[]' BENCH_sweep.json > old.txt   # then benchstat old.txt new.txt
+//
+// Usage: go test -bench ... | go run ./scripts/benchjson -label after -out BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date,omitempty"`
+	Jobs       int         `json:"jobs,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	// Benchfmt preserves the raw benchmark and config lines verbatim for
+	// benchstat; ns/op means above are per-benchmark sample averages.
+	Benchfmt []string `json:"benchfmt"`
+}
+
+type trajectory struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Runs   []run  `json:"runs"`
+}
+
+const schemaID = "probqos-bench/v1"
+
+func main() {
+	label := flag.String("label", "", "run label, e.g. baseline or after (required)")
+	out := flag.String("out", "BENCH_sweep.json", "trajectory file to update")
+	jobs := flag.Int("jobs", 0, "workload scale the sweep benchmarks ran at")
+	date := flag.String("date", "", "ISO date stamp recorded on the run")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	r, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	r.Label = *label
+	r.Jobs = *jobs
+	r.Date = *date
+
+	traj, err := load(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	replaced := false
+	for i := range traj.Runs {
+		if traj.Runs[i].Label == r.Label {
+			traj.Runs[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		traj.Runs = append(traj.Runs, r)
+	}
+
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	verb := "appended"
+	if replaced {
+		verb = "replaced"
+	}
+	fmt.Printf("benchjson: %s run %q (%d benchmarks) in %s\n", verb, r.Label, len(r.Benchmarks), *out)
+}
+
+func load(path string) (trajectory, error) {
+	traj := trajectory{Schema: schemaID, Go: runtime.Version()}
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return traj, nil
+	}
+	if err != nil {
+		return traj, err
+	}
+	if len(strings.TrimSpace(string(buf))) == 0 {
+		return traj, nil
+	}
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		return traj, fmt.Errorf("%s: %v", path, err)
+	}
+	if traj.Schema != schemaID {
+		return traj, fmt.Errorf("%s: schema %q, want %q", path, traj.Schema, schemaID)
+	}
+	traj.Go = runtime.Version()
+	return traj, nil
+}
+
+// parse folds benchfmt text into one run: config lines and benchmark result
+// lines are kept verbatim, and samples of the same benchmark are averaged.
+func parse(f *os.File) (run, error) {
+	var r run
+	agg := map[string]*benchmark{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			r.Benchfmt = append(r.Benchfmt, line)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// name iterations value ns/op [value B/op value allocs/op ...]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		r.Benchfmt = append(r.Benchfmt, line)
+		b, ok := agg[fields[0]]
+		if !ok {
+			b = &benchmark{Name: fields[0]}
+			agg[fields[0]] = b
+			order = append(order, fields[0])
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return r, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		b.Samples++
+		b.NsPerOp += ns
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp += v
+			case "allocs/op":
+				b.AllocsPerOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	if len(order) == 0 {
+		return r, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	for _, name := range order {
+		b := agg[name]
+		n := float64(b.Samples)
+		b.NsPerOp /= n
+		b.BytesPerOp /= n
+		b.AllocsPerOp /= n
+		r.Benchmarks = append(r.Benchmarks, *b)
+	}
+	return r, nil
+}
