@@ -1,0 +1,176 @@
+// Command qoslint runs the repo's determinism and durability analyzers
+// (internal/lint) over module packages and reports findings as
+//
+//	file:line:col: [analyzer] message
+//
+// exiting 1 if anything fired and 2 on usage or load errors. It is
+// report-only by design: there is no -fix, because every finding is either a
+// real bug to reason about or an intentional boundary to annotate with
+// //qoslint:allow <analyzer> <reason>.
+//
+// Usage:
+//
+//	go run ./cmd/qoslint ./...
+//	go run ./cmd/qoslint -json ./internal/durability
+//	go run ./cmd/qoslint -disable floateq,maprange ./...
+//	go run ./cmd/qoslint -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"probqos/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qoslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		list    = fs.Bool("list", false, "list the registered analyzers and exit")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: qoslint [flags] [packages]\n\nAnalyzes module packages (default ./...) for determinism and durability\ninvariant violations. Report-only: no -fix exists or will.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoslint: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "qoslint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoslint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, analyzers, lint.Names())
+	if err != nil {
+		fmt.Fprintf(stderr, "qoslint: %v\n", err)
+		return 2
+	}
+	for i := range findings {
+		findings[i].File = relPath(findings[i].File)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "qoslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var selected []*lint.Analyzer
+	for _, a := range lint.All() {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
+}
+
+// relPath shortens an absolute finding path to be relative to the working
+// directory when possible.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"probqos/internal/lint"
+)
+
+// fixture points at the floateq fixture package relative to this test's
+// working directory; its import path within the module is outside the
+// deterministic set, so only the module-wide analyzers can fire on it.
+const fixture = "../../internal/lint/testdata/src/floateq"
+
+func TestRunReportsFindingsAndExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[floateq]") {
+		t.Errorf("output lacks a floateq finding:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if !strings.Contains(line, "floateq.go:") {
+			t.Errorf("finding not positioned in the fixture file: %s", line)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 3 {
+		t.Fatalf("%d findings, want 3: %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "floateq" || f.Line == 0 || f.Col == 0 || f.File == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestRunDisableSilencesAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-disable", "floateq", fixture}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunEnableSelectsOnlyNamed(t *testing.T) {
+	var out, errOut strings.Builder
+	// Enabling an analyzer that cannot fire on this fixture must exit clean.
+	code := run([]string{"-enable", "maprange", fixture}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestRunRejectsUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-enable", "nosuch", fixture}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr lacks unknown-analyzer diagnostic: %s", errOut.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output lacks analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}

@@ -71,6 +71,7 @@ func (OSFS) SyncDir(dir string) error {
 	// Some filesystems refuse to fsync directories (EINVAL); the rename is
 	// then as durable as the platform allows.
 	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		//qoslint:allow syncerr best-effort close on the error path; the Sync error is returned
 		d.Close()
 		return err
 	}

@@ -54,10 +54,12 @@ func writeSnapshot(fsys FS, dir string, s *Snapshot) error {
 		return fmt.Errorf("durability: create %s: %w", tmp, err)
 	}
 	if _, err := f.Write(data); err != nil {
+		//qoslint:allow syncerr best-effort cleanup; the Write error is returned
 		f.Close()
 		return fmt.Errorf("durability: write %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
+		//qoslint:allow syncerr best-effort cleanup; the Sync error is returned
 		f.Close()
 		return fmt.Errorf("durability: fsync %s: %w", tmp, err)
 	}

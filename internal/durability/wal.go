@@ -108,6 +108,7 @@ func openWAL(fsys FS, path string, valid int64, nextLSN uint64) (*wal, error) {
 		return nil, fmt.Errorf("durability: open wal %s: %w", path, err)
 	}
 	if err := f.Truncate(valid); err != nil {
+		//qoslint:allow syncerr best-effort close on the error path; the Truncate error is returned
 		f.Close()
 		return nil, fmt.Errorf("durability: truncate wal %s to %d: %w", path, valid, err)
 	}

@@ -45,10 +45,10 @@ func (c RawConfig) withDefaults() RawConfig {
 	if c.Episodes == 0 {
 		c.Episodes = 1021
 	}
-	if c.BurstShape == 0 {
+	if c.BurstShape <= 0 {
 		c.BurstShape = 0.45
 	}
-	if c.NoisePerNodePerDay == 0 {
+	if c.NoisePerNodePerDay <= 0 {
 		c.NoisePerNodePerDay = 4
 	}
 	return c

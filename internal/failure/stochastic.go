@@ -68,7 +68,7 @@ func (c StochasticConfig) withDefaults() StochasticConfig {
 	if c.ClusterMTBF == 0 {
 		c.ClusterMTBF = units.Duration(8.5 * float64(units.Hour))
 	}
-	if c.Shape == 0 {
+	if c.Shape <= 0 {
 		c.Shape = 0.6
 	}
 	return c
@@ -148,7 +148,7 @@ func (t *Trace) GapCV() float64 {
 		gaps = append(gaps, t.events[i].Time.Sub(t.events[i-1].Time).Seconds())
 	}
 	s := stats.Summarize(gaps)
-	if s.Mean == 0 {
+	if s.Mean <= 0 {
 		return 0
 	}
 	return s.Stddev / s.Mean

@@ -69,16 +69,16 @@ func (c MonitorConfig) withDefaults() MonitorConfig {
 	if c.Horizon == 0 {
 		c.Horizon = 6 * units.Hour
 	}
-	if c.SlopeWeight == 0 {
+	if c.SlopeWeight <= 0 {
 		c.SlopeWeight = 0.35
 	}
-	if c.WarnWeight == 0 {
+	if c.WarnWeight <= 0 {
 		c.WarnWeight = 0.30
 	}
-	if c.MinSlope == 0 {
+	if c.MinSlope <= 0 {
 		c.MinSlope = 1.5
 	}
-	if c.MaxPrognosis == 0 {
+	if c.MaxPrognosis <= 0 {
 		c.MaxPrognosis = 0.95
 	}
 	return c

@@ -158,8 +158,10 @@ func (t *Telemetry) Slope(node int, from, to units.Time) (float64, bool) {
 		sxy += x * s.Temperature
 	}
 	n := float64(len(window))
+	// den is nonnegative up to rounding (Cauchy–Schwarz); treat cancellation
+	// noise below zero as the same degenerate window as exact zero.
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if den <= 0 {
 		return 0, false
 	}
 	return (n*sxy - sx*sy) / den, true

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids the process-global math/rand state in deterministic
+// packages. The global PRNG is shared across goroutines and seeded from the
+// runtime, so two runs of the same scenario draw different streams and a
+// replay cannot reconverge. Seeded sources are fine: rand.New(rand.NewSource
+// (seed)) and every sampler in internal/stats remain legal, because their
+// streams are a pure function of the seed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand functions and unseeded sources in deterministic packages",
+	Run:  runDetRand,
+}
+
+// randConstructors are the math/rand and math/rand/v2 functions that build
+// an explicitly seeded generator rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path) {
+		return nil
+	}
+	forEachNode(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		path := pkgNameOf(pass, id)
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		// Types (rand.Rand, rand.Source) and seeded constructors are fine;
+		// any other function reference draws from the global generator.
+		if _, isFunc := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		if randConstructors[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"rand.%s uses the process-global PRNG in deterministic package %s; draw from a seeded *stats.Source (or rand.New with an explicit seed) instead",
+			sel.Sel.Name, pass.Pkg.Path)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetWallClock forbids wall-clock reads in the deterministic packages. The
+// simulator owns virtual time; a time.Now smuggled into sim, sched, predict,
+// checkpoint, negotiate, failure, experiment, or durability makes a replayed
+// history diverge from the recorded one and silently voids the (deadline, p)
+// guarantees. Profiling boundaries that only feed the obs layer are
+// annotated with //qoslint:allow detwallclock <reason>.
+var DetWallClock = &Analyzer{
+	Name: "detwallclock",
+	Doc:  "forbid time.Now/Since/timers in deterministic packages",
+	Run:  runDetWallClock,
+}
+
+// wallClockFuncs lists the package-level time functions that read or depend
+// on the process clock. Referencing one at all (not just calling it) is a
+// finding, so passing time.Now as a value is caught too.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+func runDetWallClock(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path) {
+		return nil
+	}
+	forEachNode(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pkgNameOf(pass, id) != "time" || !wallClockFuncs[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"time.%s reads the wall clock in deterministic package %s; derive time from the engine clock, or annotate a profiling boundary with %s %s <reason>",
+			sel.Sel.Name, pass.Pkg.Path, DirectivePrefix, pass.Analyzer.Name)
+		return true
+	})
+	return nil
+}

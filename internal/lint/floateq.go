@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != where both operands are floating point. The
+// probabilities and QoS scores this repo trades in are accumulated floats;
+// exact equality on them is order-of-evaluation dependent, which is exactly
+// the kind of silent nondeterminism the golden corpus exists to catch.
+// Compare with an epsilon or an ordered comparison instead. Comparisons
+// where both operands are compile-time constants are exact and exempt;
+// genuinely exact cases (a value just read from a generator, an IEEE
+// sentinel) get //qoslint:allow floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= between floating-point operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachNode(pass, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		tx, okX := info.Types[bin.X]
+		ty, okY := info.Types[bin.Y]
+		if !okX || !okY || !isFloat(tx.Type) || !isFloat(ty.Type) {
+			return true
+		}
+		if tx.Value != nil && ty.Value != nil {
+			return true // constant-folded: exact by construction
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s comparison (%s); use an epsilon or ordered comparison, or annotate an exact case with %s %s <reason>",
+			bin.Op, exprString(pass.Pkg.Fset, bin), DirectivePrefix, pass.Analyzer.Name)
+		return true
+	})
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

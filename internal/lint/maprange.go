@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags ranging over a map where the loop body feeds an
+// order-sensitive sink: an encoder or writer method, the fmt print family,
+// or an append to a slice that outlives the loop. Go randomizes map
+// iteration order per run, so such a loop makes exposition output — tables,
+// golden JSON, /metrics pages — differ between byte-identical replays. The
+// fix is to iterate sorted keys; a loop that appends to a slice which is
+// sorted later in the same function is recognized as already normalized and
+// not flagged.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid map iteration that writes to order-sensitive sinks",
+	Run:  runMapRange,
+}
+
+// orderSinkMethods are selector names whose call inside a map-range body
+// emits output in iteration order: io/bufio writers, string builders,
+// encoders, and the fmt print family.
+var orderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteRecord": true,
+	"WriteAll":    true,
+	"Encode":      true,
+	"EncodeToken": true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+func runMapRange(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Collect every function body so append targets can be checked for a
+		// later sort in their innermost enclosing function.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findOrderSink(pass, rs, enclosingBody(bodies, rs)); sink != "" {
+				pass.Reportf(rs.For,
+					"map iteration order is nondeterministic but the loop body %s; iterate sorted keys, or annotate with %s %s <reason>",
+					sink, DirectivePrefix, pass.Analyzer.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost collected function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// findOrderSink scans the range body for the first order-sensitive sink and
+// describes it, or returns "" if the body is order-insensitive.
+func findOrderSink(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	info := pass.Pkg.Info
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderSinkMethods[sel.Sel.Name] {
+				sink = "calls " + exprString(pass.Pkg.Fset, sel) + " in iteration order"
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				// Only appends to a slice declared before the loop leak
+				// iteration order; a sort of that slice later in the same
+				// function restores determinism.
+				if obj == nil || (rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End()) {
+					continue
+				}
+				if sortedLater(info, fnBody, rs, obj) {
+					continue
+				}
+				sink = "appends to " + id.Name + " in iteration order (not sorted afterwards)"
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether obj is passed to a sort or slices function
+// after the range statement, inside the enclosing function body.
+func sortedLater(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises allow-directive scoping: a directive suppresses
+// only the analyzer it names, stacked whole-line directives cover the same
+// statement, and the trailing form covers its own line.
+package fixture
+
+import "time"
+
+// WrongName carries an allow for detrand, which must not silence the
+// detwallclock finding on the next line.
+func WrongName() time.Time {
+	//qoslint:allow detrand names the wrong analyzer on purpose
+	return time.Now()
+}
+
+// Stacked suppresses two different analyzers on one statement.
+func Stacked(a float64) bool {
+	//qoslint:allow detwallclock fixture boundary
+	//qoslint:allow floateq fixture exact sentinel
+	return time.Since(time.Unix(0, 0)).Seconds() == a
+}
+
+// HalfAllowed allows only floateq; the detwallclock finding on the same
+// line must survive.
+func HalfAllowed(a float64) bool {
+	//qoslint:allow floateq fixture exact sentinel
+	return time.Since(time.Unix(0, 0)).Seconds() == a
+}
+
+// Trailing uses the same-line form.
+func Trailing() time.Time {
+	return time.Now() //qoslint:allow detwallclock fixture boundary
+}

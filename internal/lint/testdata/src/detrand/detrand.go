@@ -1,0 +1,29 @@
+// Package fixture seeds detrand violations and corrected forms for the
+// analyzer tests. It is loaded under a deterministic import path by the
+// tests and is never built by the module itself.
+package fixture
+
+import (
+	"math/rand"
+
+	"probqos/internal/stats"
+)
+
+// Violations draws from the process-global PRNG three ways.
+func Violations(xs []int) float64 {
+	u := rand.Float64()
+	n := rand.Intn(len(xs) + 1)
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return u + float64(n)
+}
+
+// Seeded is the corrected form: explicitly seeded generators are legal, and
+// referencing the rand.Rand type is not a finding.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// ViaStats is the repo's preferred form.
+func ViaStats(seed int64) float64 {
+	return stats.NewSource(seed).Float64()
+}

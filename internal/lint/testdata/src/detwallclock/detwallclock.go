@@ -1,0 +1,30 @@
+// Package fixture seeds detwallclock violations and corrected forms for the
+// analyzer tests. It is loaded under a deterministic import path by the
+// tests and is never built by the module itself.
+package fixture
+
+import "time"
+
+// Stamp gives the violations something to assign to.
+var Stamp time.Time
+
+// Violations holds one finding per wall-clock read.
+func Violations() time.Duration {
+	Stamp = time.Now()
+	d := time.Since(Stamp)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	return d
+}
+
+// Allowed shows the annotated profiling-boundary form.
+func Allowed() time.Time {
+	//qoslint:allow detwallclock fixture profiling boundary
+	return time.Now()
+}
+
+// Virtual is the corrected form: time arrives as a parameter from the
+// engine clock instead of the process clock.
+func Virtual(now time.Time) time.Duration {
+	return now.Sub(Stamp)
+}

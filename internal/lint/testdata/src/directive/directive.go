@@ -1,0 +1,12 @@
+// Package fixture seeds malformed allow directives, which the framework
+// itself reports and which cannot be suppressed.
+package fixture
+
+//qoslint:allow
+func MissingEverything() {}
+
+//qoslint:allow floateq
+func MissingReason() {}
+
+//qoslint:allow nosuch the analyzer name does not exist
+func UnknownAnalyzer() {}

@@ -1,0 +1,36 @@
+// Package fixture seeds floateq violations and corrected forms for the
+// analyzer tests.
+package fixture
+
+const eps = 1e-9
+
+// Violations compares floats exactly three ways: two variables, float32
+// operands, and a variable against a constant.
+func Violations(a, b float64, f, g float32) bool {
+	if a == b {
+		return true
+	}
+	if f != g {
+		return false
+	}
+	return a != 0
+}
+
+// Clean holds the forms the analyzer must stay silent on: integer equality,
+// epsilon comparison, ordered comparison, and constant folding.
+func Clean(a, b float64, n, m int) bool {
+	if n == m {
+		return true
+	}
+	if d := a - b; -eps < d && d < eps {
+		return true
+	}
+	const half = 0.5
+	return half == 0.5 && a < b
+}
+
+// Allowed shows the annotated exact-sentinel form.
+func Allowed(u float64) bool {
+	//qoslint:allow floateq fixture exact sentinel
+	return u == 0
+}

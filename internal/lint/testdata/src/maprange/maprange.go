@@ -1,0 +1,53 @@
+// Package fixture seeds maprange violations and corrected forms for the
+// analyzer tests.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Violations iterates maps into order-sensitive sinks: a string builder, the
+// fmt print family, and a slice that escapes unsorted.
+func Violations(m map[string]int, w *strings.Builder) []string {
+	for k := range m {
+		w.WriteString(k)
+	}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the corrected form: the appended slice is sorted in the
+// same function, so iteration order cannot leak.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Aggregate is order-insensitive and must not be flagged.
+func Aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Allowed shows the annotated order-does-not-matter form.
+func Allowed(m map[string]int) {
+	//qoslint:allow maprange fixture output order is irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,33 @@
+// Package fixture seeds syncerr violations and corrected forms for the
+// analyzer tests. It is loaded under a durability-critical import path by
+// the tests.
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+// Violations discards Sync/Close errors three ways: expression statement,
+// blank assignment, and defer.
+func Violations(f *os.File) {
+	f.Sync()
+	_ = f.Close()
+	defer f.Sync()
+}
+
+// Clean checks every error and closes a non-writable handle, which is out
+// of scope.
+func Clean(f *os.File, rc io.ReadCloser) error {
+	rc.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Allowed shows the annotated best-effort-cleanup form.
+func Allowed(f *os.File) {
+	//qoslint:allow syncerr fixture best-effort cleanup
+	f.Close()
+}

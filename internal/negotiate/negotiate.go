@@ -115,7 +115,7 @@ func (n *Negotiator) walk(now units.Time, size int, duration units.Duration, yie
 		if !yield(Quote{Candidate: c, Deadline: c.Start.Add(duration), Success: 1 - c.PFail}) {
 			return nil
 		}
-		if c.PFail == 0 {
+		if c.PFail <= 0 {
 			return nil // perfect promise; no later quote improves on it
 		}
 		if n.locator == nil {
@@ -146,7 +146,7 @@ func (n *Negotiator) walk(now units.Time, size int, duration units.Duration, yie
 		if !yield(Quote{Candidate: c, Deadline: c.Start.Add(duration), Success: 1 - c.PFail}) {
 			return nil
 		}
-		if c.PFail == 0 {
+		if c.PFail <= 0 {
 			return nil
 		}
 	}

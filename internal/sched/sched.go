@@ -248,6 +248,7 @@ func (s *Scheduler) pickNodes(start units.Time, size int, duration units.Duratio
 // then the smallest reported probability, ties broken on node ID for
 // determinism.
 func scoredLess(a, b scoredNode) bool {
+	//qoslint:allow floateq comparator tie-break; an epsilon here would break ordering transitivity and determinism
 	if a.risk != b.risk {
 		return a.risk < b.risk
 	}

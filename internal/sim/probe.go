@@ -177,6 +177,7 @@ func (s *Engine) phaseStart() time.Time {
 	if s.probe == nil {
 		return time.Time{}
 	}
+	//qoslint:allow detwallclock profiling boundary; feeds obs phase timings, never simulation state
 	return time.Now()
 }
 
@@ -185,6 +186,7 @@ func (s *Engine) phaseEnd(p Phase, t0 time.Time) {
 	if s.probe == nil {
 		return
 	}
+	//qoslint:allow detwallclock profiling boundary; feeds obs phase timings, never simulation state
 	s.probe.Phase(p, time.Since(t0))
 }
 

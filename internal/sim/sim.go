@@ -288,6 +288,7 @@ func (s *Engine) step() error {
 		return err
 	}
 	if s.probe != nil {
+		//qoslint:allow detwallclock profiling boundary; feeds obs phase timings, never simulation state
 		s.probe.Phase(PhaseDispatch, time.Since(t0))
 		s.probe.Sample(s.state())
 	}

@@ -75,6 +75,7 @@ func (s *Source) LogNormal(mu, sigma float64) float64 {
 // pattern for cluster failure inter-arrival times.
 func (s *Source) Weibull(shape, scale float64) float64 {
 	u := s.rng.Float64()
+	//qoslint:allow floateq Float64 can return exactly 0; rejection guard before log(0)
 	for u == 0 {
 		u = s.rng.Float64()
 	}

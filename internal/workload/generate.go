@@ -48,7 +48,7 @@ func (c GenConfig) withDefaults(defaultLoad float64) GenConfig {
 	if c.ClusterNodes == 0 {
 		c.ClusterNodes = 128
 	}
-	if c.Load == 0 {
+	if c.Load <= 0 {
 		c.Load = defaultLoad
 	}
 	return c

@@ -1,20 +1,24 @@
 #!/bin/sh
-# Repo-wide verification: formatting, vet, build, and the full test suite
+# Repo-wide verification: formatting (with simplification), vet, the
+# qoslint determinism/durability analyzers, build, and the full test suite
 # under the race detector. ROADMAP.md's tier-1 verify line points here.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== qoslint ./..."
+go run ./cmd/qoslint ./...
 
 echo "== go build ./..."
 go build ./...
