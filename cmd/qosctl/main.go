@@ -3,16 +3,26 @@
 //
 // Usage:
 //
-//	qosctl [-addr host:port] [-timeout D] [-retries N] quote -nodes N -exec SECONDS [-max K]
+//	qosctl [-addr host:port] [-timeout D] [-retries N] [-v] quote -nodes N -exec SECONDS [-max K]
 //	qosctl [...] accept -session ID -offer K
 //	qosctl [...] job ID
 //	qosctl [...] jobs
 //	qosctl [...] state
 //	qosctl [...] fault -node N [-at T] [-after SECONDS]
 //	qosctl [...] advance [-to T] [-by SECONDS]
+//	qosctl [...] report [-n N]
+//	qosctl [...] trace [-id TRACEID]
 //
 // Responses are printed as indented JSON; non-2xx responses become errors
 // carrying the server's message.
+//
+// Every call sends a fresh X-Qos-Trace ID, and all retry attempts of one
+// call reuse that ID, so a retried request correlates to a single trace
+// server-side. With -v the trace ID and the server's Server-Timing span
+// breakdown are printed on stderr. `report` fetches the live promise
+// conformance ledger (/qos/conformance); `trace` fetches Chrome
+// trace_event JSON from /debug/trace — load it in chrome://tracing or
+// Perfetto.
 //
 // Requests time out (-timeout, default 10s) and transient failures are
 // retried with exponential backoff and jitter (-retries, default 3): GETs
@@ -31,35 +41,42 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"syscall"
 	"time"
+
+	"probqos"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Stderr, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "qosctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, args []string) error {
+func run(out, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("qosctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9120", "qosd address")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	retries := fs.Int("retries", 3, "retry budget for transient failures")
+	verbose := fs.Bool("v", false, "print the trace ID and server span timings on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand: quote, accept, job, jobs, state, fault, or advance")
+		return fmt.Errorf("missing subcommand: quote, accept, job, jobs, state, fault, advance, report, or trace")
 	}
 	c := client{
 		base:    "http://" + *addr,
 		out:     out,
+		errw:    errw,
 		http:    &http.Client{Timeout: *timeout},
 		retries: *retries,
+		verbose: *verbose,
 	}
 	cmd, args := rest[0], rest[1:]
 	switch cmd {
@@ -80,6 +97,10 @@ func run(out io.Writer, args []string) error {
 		return c.fault(args)
 	case "advance":
 		return c.advance(args)
+	case "report":
+		return c.report(args)
+	case "trace":
+		return c.trace(args)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -88,8 +109,10 @@ func run(out io.Writer, args []string) error {
 type client struct {
 	base    string
 	out     io.Writer
+	errw    io.Writer
 	http    *http.Client
 	retries int
+	verbose bool
 }
 
 func (c client) quote(args []string) error {
@@ -152,6 +175,32 @@ func (c client) advance(args []string) error {
 	return c.call("POST", "/v1/advance", body)
 }
 
+func (c client) report(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	n := fs.Int("n", -1, "promise rows to include (-1 = server default, 0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/qos/conformance"
+	if *n >= 0 {
+		path += "?n=" + url.QueryEscape(strconv.Itoa(*n))
+	}
+	return c.call("GET", path, nil)
+}
+
+func (c client) trace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	id := fs.String("id", "", "only export spans of this trace ID (empty = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/debug/trace"
+	if *id != "" {
+		path += "?trace=" + url.QueryEscape(*id)
+	}
+	return c.call("GET", path, nil)
+}
+
 // Retry backoff: base doubles each attempt up to the cap, and half the
 // delay is re-rolled as jitter so synchronized clients spread out.
 const (
@@ -159,8 +208,14 @@ const (
 	backoffCap  = 2 * time.Second
 )
 
+// traceHeader carries the request trace ID; qosd echoes it back and tags
+// every server-side span of the request with it.
+const traceHeader = "X-Qos-Trace"
+
 // call performs one API request — with retries for transient failures —
-// and pretty-prints the JSON response.
+// and pretty-prints the JSON response. One trace ID is minted per call and
+// reused across every retry attempt, so all attempts of a logical request
+// land in the same server-side trace.
 func (c client) call(method, path string, body any) error {
 	var data []byte
 	if body != nil {
@@ -169,11 +224,25 @@ func (c client) call(method, path string, body any) error {
 			return err
 		}
 	}
-	resp, respBody, err := c.doRetry(method, path, data)
+	traceID := probqos.NewTraceID()
+	resp, respBody, err := c.doRetry(method, path, data, traceID)
 	if err != nil {
 		return err
 	}
+	if c.verbose {
+		c.printTiming(traceID, resp)
+	}
 	return c.render(resp, respBody)
+}
+
+// printTiming reports where a call's time went: the trace ID to fetch the
+// full trace later (qosctl trace -id ...) and the server's per-span
+// Server-Timing breakdown, when tracing is enabled server-side.
+func (c client) printTiming(traceID string, resp *http.Response) {
+	fmt.Fprintf(c.errw, "trace %s\n", traceID)
+	if st := resp.Header.Get("Server-Timing"); st != "" {
+		fmt.Fprintf(c.errw, "server-timing %s\n", st)
+	}
 }
 
 // doRetry issues the request, rebuilding it for each attempt so the body
@@ -182,7 +251,7 @@ func (c client) call(method, path string, body any) error {
 // connection was refused (the server never saw the request), and both after
 // a 503, which qosd sends precisely when an operation was rejected before
 // taking effect (degraded, draining, or admission-limited).
-func (c client) doRetry(method, path string, body []byte) (*http.Response, []byte, error) {
+func (c client) doRetry(method, path string, body []byte, traceID string) (*http.Response, []byte, error) {
 	delay := backoffBase
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -195,6 +264,9 @@ func (c client) doRetry(method, path string, body []byte) (*http.Response, []byt
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if traceID != "" {
+			req.Header.Set(traceHeader, traceID)
 		}
 		resp, err := c.http.Do(req)
 		var respBody []byte

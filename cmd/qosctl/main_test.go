@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -36,7 +37,7 @@ func TestDialogRoundTrip(t *testing.T) {
 	addr := startServer(t)
 
 	var out bytes.Buffer
-	if err := run(&out, []string{"-addr", addr, "quote", "-nodes", "2", "-exec", "600"}); err != nil {
+	if err := run(&out, io.Discard, []string{"-addr", addr, "quote", "-nodes", "2", "-exec", "600"}); err != nil {
 		t.Fatalf("quote: %v", err)
 	}
 	var quote struct {
@@ -47,7 +48,7 @@ func TestDialogRoundTrip(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(&out, []string{"-addr", addr, "accept", "-session", quote.SessionID, "-offer", "1"}); err != nil {
+	if err := run(&out, io.Discard, []string{"-addr", addr, "accept", "-session", quote.SessionID, "-offer", "1"}); err != nil {
 		t.Fatalf("accept: %v", err)
 	}
 	var acc struct {
@@ -58,11 +59,11 @@ func TestDialogRoundTrip(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(&out, []string{"-addr", addr, "advance", "-by", "86400"}); err != nil {
+	if err := run(&out, io.Discard, []string{"-addr", addr, "advance", "-by", "86400"}); err != nil {
 		t.Fatalf("advance: %v", err)
 	}
 	out.Reset()
-	if err := run(&out, []string{"-addr", addr, "job", "1"}); err != nil {
+	if err := run(&out, io.Discard, []string{"-addr", addr, "job", "1"}); err != nil {
 		t.Fatalf("job: %v", err)
 	}
 	if !strings.Contains(out.String(), `"completed"`) {
@@ -70,7 +71,7 @@ func TestDialogRoundTrip(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(&out, []string{"-addr", addr, "state"}); err != nil {
+	if err := run(&out, io.Discard, []string{"-addr", addr, "state"}); err != nil {
 		t.Fatalf("state: %v", err)
 	}
 	if !strings.Contains(out.String(), `"completed": 1`) {
@@ -80,7 +81,7 @@ func TestDialogRoundTrip(t *testing.T) {
 
 func TestServerErrorsSurface(t *testing.T) {
 	addr := startServer(t)
-	err := run(&bytes.Buffer{}, []string{"-addr", addr, "accept", "-session", "q-404", "-offer", "1"})
+	err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", addr, "accept", "-session", "q-404", "-offer", "1"})
 	if err == nil || !strings.Contains(err.Error(), "unknown or expired") {
 		t.Fatalf("error not surfaced: %v", err)
 	}
@@ -116,7 +117,7 @@ func TestRetriesTransient503(t *testing.T) {
 	} {
 		addr, hits := flakyServer(t, 2, okJSON)
 		var out bytes.Buffer
-		if err := run(&out, append([]string{"-addr", addr}, args...)); err != nil {
+		if err := run(&out, io.Discard, append([]string{"-addr", addr}, args...)); err != nil {
 			t.Fatalf("%v after 503s: %v", args, err)
 		}
 		if got := hits.Load(); got != 3 {
@@ -127,7 +128,7 @@ func TestRetriesTransient503(t *testing.T) {
 
 func TestRetryBudgetExhausted(t *testing.T) {
 	addr, hits := flakyServer(t, 1<<30, nil)
-	err := run(&bytes.Buffer{}, []string{"-addr", addr, "-retries", "1", "jobs"})
+	err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", addr, "-retries", "1", "jobs"})
 	if err == nil || !strings.Contains(err.Error(), "service draining") {
 		t.Fatalf("exhausted retries should surface the 503 error, got: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestNoRetryOnHardErrors(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	if err := run(&bytes.Buffer{}, []string{"-addr", addr, "job", "7"}); err == nil {
+	if err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", addr, "job", "7"}); err == nil {
 		t.Fatal("404 did not surface as an error")
 	}
 	if got := hits.Load(); got != 1 {
@@ -160,20 +161,188 @@ func TestGetRetriesConnectionRefused(t *testing.T) {
 	srv := httptest.NewServer(http.NotFoundHandler())
 	addr := strings.TrimPrefix(srv.URL, "http://")
 	srv.Close()
-	err := run(&bytes.Buffer{}, []string{"-addr", addr, "-retries", "1", "jobs"})
+	err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", addr, "-retries", "1", "jobs"})
 	if err == nil || !strings.Contains(err.Error(), "refused") {
 		t.Fatalf("want connection-refused error, got: %v", err)
 	}
 }
 
+// startTracedServer is startServer with request tracing enabled.
+func startTracedServer(t *testing.T) string {
+	t.Helper()
+	trace, err := probqos.NewFailureTrace(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := probqos.NewQoSServiceConfig(trace)
+	cfg.Tracer = probqos.NewTracer(4096)
+	svc, err := probqos.NewQoSService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	addr, err := svc.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestVerbosePrintsTraceAndServerTiming(t *testing.T) {
+	addr := startTracedServer(t)
+
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, []string{"-addr", addr, "-v", "quote", "-nodes", "2", "-exec", "600"}); err != nil {
+		t.Fatalf("quote: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(errw.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "trace ") {
+		t.Fatalf("verbose output missing trace line: %q", errw.String())
+	}
+	traceID := strings.TrimPrefix(lines[0], "trace ")
+	if len(traceID) != 16 {
+		t.Errorf("trace ID %q: want 16 hex chars", traceID)
+	}
+	if !strings.HasPrefix(lines[1], "server-timing ") || !strings.Contains(lines[1], "quote;dur=") {
+		t.Errorf("verbose output missing quote span timing: %q", lines[1])
+	}
+
+	// The printed ID must fetch that request's server-side spans.
+	out.Reset()
+	if err := run(&out, io.Discard, []string{"-addr", addr, "trace", "-id", traceID}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var chrome struct {
+		Events []struct {
+			Name string `json:"name"`
+			Args map[string]string
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &chrome); err != nil {
+		t.Fatalf("trace output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(chrome.Events) == 0 {
+		t.Fatalf("no spans exported for trace %s", traceID)
+	}
+	for _, ev := range chrome.Events {
+		if ev.Args["trace"] != traceID {
+			t.Errorf("span %q has trace %q, want %s", ev.Name, ev.Args["trace"], traceID)
+		}
+	}
+}
+
+func TestVerboseWithoutServerTracing(t *testing.T) {
+	// Against an untraced server, -v still prints the client's trace ID
+	// (the header is echoed even when tracing is off) but no timings.
+	addr := startServer(t)
+	var errw bytes.Buffer
+	if err := run(&bytes.Buffer{}, &errw, []string{"-addr", addr, "-v", "state"}); err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if !strings.HasPrefix(errw.String(), "trace ") {
+		t.Fatalf("verbose output missing trace line: %q", errw.String())
+	}
+	if strings.Contains(errw.String(), "server-timing") {
+		t.Errorf("untraced server should yield no server-timing: %q", errw.String())
+	}
+}
+
+func TestRetriesReuseTraceID(t *testing.T) {
+	var ids []string
+	addr, _ := flakyServer(t, 2, func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"jobs": []}`))
+	})
+	// Wrap: capture the header on every attempt, including the 503s.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get("X-Qos-Trace"))
+		r.URL.Host = addr
+		resp, err := http.Get("http://" + addr + r.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(srv.Close)
+
+	front := strings.TrimPrefix(srv.URL, "http://")
+	if err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", front, "jobs"}); err != nil {
+		t.Fatalf("jobs: %v", err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("made %d attempts, want 3", len(ids))
+	}
+	for _, id := range ids {
+		if id == "" || id != ids[0] {
+			t.Fatalf("retry attempts changed trace ID: %v", ids)
+		}
+	}
+}
+
+func TestReportSubcommand(t *testing.T) {
+	addr := startServer(t)
+
+	var out bytes.Buffer
+	if err := run(&out, io.Discard, []string{"-addr", addr, "quote", "-nodes", "2", "-exec", "600"}); err != nil {
+		t.Fatalf("quote: %v", err)
+	}
+	var quote struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &quote); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, io.Discard, []string{"-addr", addr, "accept", "-session", quote.SessionID, "-offer", "1"}); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	out.Reset()
+	if err := run(&out, io.Discard, []string{"-addr", addr, "advance", "-by", "86400"}); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+
+	out.Reset()
+	if err := run(&out, io.Discard, []string{"-addr", addr, "report"}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	var rep struct {
+		Settled     int     `json:"settled"`
+		Kept        int     `json:"kept"`
+		KeepingRate float64 `json:"keeping_rate"`
+		Entries     []struct {
+			Outcome string `json:"outcome"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report output: %v\n%s", err, out.String())
+	}
+	if rep.Settled != 1 || rep.Kept != 1 || rep.KeepingRate != 1 {
+		t.Errorf("report: settled=%d kept=%d rate=%g, want 1/1/1\n%s",
+			rep.Settled, rep.Kept, rep.KeepingRate, out.String())
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].Outcome != "kept" {
+		t.Errorf("report entries: %+v", rep.Entries)
+	}
+}
+
+func TestTraceSubcommandAgainstUntracedServer(t *testing.T) {
+	addr := startServer(t)
+	err := run(&bytes.Buffer{}, io.Discard, []string{"-addr", addr, "trace"})
+	if err == nil || !strings.Contains(err.Error(), "tracing disabled") {
+		t.Fatalf("want tracing-disabled error, got: %v", err)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
-	if err := run(&bytes.Buffer{}, nil); err == nil {
+	if err := run(&bytes.Buffer{}, io.Discard, nil); err == nil {
 		t.Error("missing subcommand accepted")
 	}
-	if err := run(&bytes.Buffer{}, []string{"bogus"}); err == nil {
+	if err := run(&bytes.Buffer{}, io.Discard, []string{"bogus"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run(&bytes.Buffer{}, []string{"job"}); err == nil {
+	if err := run(&bytes.Buffer{}, io.Discard, []string{"job"}); err == nil {
 		t.Error("job without id accepted")
 	}
 }

@@ -6,6 +6,7 @@
 //	qosd [-addr host:port] [-nodes N] [-failures trace.csv] [-seed S]
 //	     [-a accuracy] [-speedup X] [-ttl-mins M] [-max-quotes K]
 //	     [-max-outstanding J] [-data-dir DIR] [-snapshot-every N]
+//	     [-trace-spans N]
 //
 // Without -failures a synthetic trace matching the paper's AIX failure
 // data is generated for the cluster. The virtual clock is manual by
@@ -17,10 +18,15 @@
 // into snapshots on a risk-based cadence, and replayed on restart so
 // admitted jobs and their deadline promises survive a kill -9.
 //
+// With -trace-spans N every request is traced: responses carry an
+// X-Qos-Trace ID and Server-Timing header, and /debug/trace exports the
+// last N spans as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
 // API: POST /v1/quote, POST /v1/accept, GET /v1/jobs, GET /v1/jobs/{id},
-// POST /v1/faults, POST /v1/advance, GET /v1/state, plus /metrics,
-// /healthz, and /snapshot from the instrumentation layer. See cmd/qosctl
-// for a command-line client and README.md for a curl walkthrough.
+// POST /v1/faults, POST /v1/advance, GET /v1/state, GET /qos/conformance,
+// GET /debug/trace, plus /metrics, /healthz, and /snapshot from the
+// instrumentation layer. See cmd/qosctl for a command-line client and
+// README.md for a curl walkthrough.
 package main
 
 import (
@@ -59,6 +65,7 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 		maxOut      = fs.Int("max-outstanding", 0, "admission limit on open promises (0 = unlimited)")
 		dataDir     = fs.String("data-dir", "", "durable state directory (empty = memory only)")
 		snapEvery   = fs.Int("snapshot-every", 0, "hard cap on WAL records between snapshots (0 = default)")
+		traceSpans  = fs.Int("trace-spans", 0, "request-tracing span budget (0 = tracing disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +85,9 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.MaxOutstanding = *maxOut
 	cfg.DataDir = *dataDir
 	cfg.SnapshotEvery = *snapEvery
+	if *traceSpans > 0 {
+		cfg.Tracer = probqos.NewTracer(*traceSpans)
+	}
 
 	svc, err := probqos.NewQoSService(cfg)
 	if err != nil {
@@ -90,6 +100,10 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	}
 	fmt.Fprintf(out, "qosd listening on %s (%d nodes, a=%.2f, speedup=%g)\n",
 		bound, *nodes, *accuracy, *speedup)
+	if *traceSpans > 0 {
+		fmt.Fprintf(out, "qosd tracing on (%d-span budget; X-Qos-Trace, Server-Timing, /debug/trace)\n",
+			*traceSpans)
+	}
 	if info := svc.RecoveryInfo(); info.Enabled {
 		kind := "fresh state"
 		if info.SnapshotLoaded || info.RecordsReplayed > 0 {

@@ -27,6 +27,10 @@ type Options struct {
 	// OnSync, when set, observes the latency of each WAL append (write +
 	// fsync). The service wires it to a histogram.
 	OnSync func(d time.Duration)
+	// OnSnapshot, when set, observes each completed snapshot: its encoded
+	// state size and how long the durable write took. The service wires it
+	// to the snapshot gauges.
+	OnSnapshot func(bytes int, d time.Duration)
 }
 
 const (
@@ -202,6 +206,9 @@ func (st *Store) Compact(state []byte, config string) error {
 	}
 	//qoslint:allow detwallclock snapshot-cost observation for obs; never feeds replayed state
 	st.snapCost = time.Since(begin)
+	if st.opts.OnSnapshot != nil {
+		st.opts.OnSnapshot(len(state), st.snapCost)
+	}
 	if err := st.w.reset(); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ func All() []*Analyzer {
 		FloatEq,
 		SyncErr,
 		MapRange,
+		ObsImport,
 	}
 }
 
@@ -53,6 +54,29 @@ func IsDeterministicPkg(path string) bool {
 	segs := strings.Split(path, "/")
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i] == "internal" && deterministicDirs[segs[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// observabilityDirs names the internal packages on the wall-clock side of
+// the boundary: metrics exposition (obs) and request tracing / promise
+// conformance (trace). They may read the process clock — annotated at each
+// site — but the dependency between them and the deterministic set must
+// point one way only: the service layer hands state to observability,
+// never the reverse.
+var observabilityDirs = map[string]bool{
+	"obs":   true,
+	"trace": true,
+}
+
+// IsObservabilityPkg reports whether the import path lies in (or under) one
+// of the observability internal packages.
+func IsObservabilityPkg(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == "internal" && observabilityDirs[segs[i+1]] {
 			return true
 		}
 	}

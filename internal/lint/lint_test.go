@@ -129,6 +129,16 @@ func TestAnalyzerFixtures(t *testing.T) {
 				"maprange.go:21:2: [maprange] map iteration order is nondeterministic but the loop body appends to out in iteration order (not sorted afterwards); iterate sorted keys, or annotate with //qoslint:allow maprange <reason>",
 			},
 		},
+		{
+			name:       "obsimport",
+			dir:        "obsimport",
+			importPath: "probqos/internal/durability/fixture",
+			analyzer:   ObsImport,
+			want: []string{
+				`obsimport.go:7:2: [obsimport] deterministic package probqos/internal/durability/fixture imports observability package "probqos/internal/obs"; observability reads replayed state but must never feed it — wire the two together in the service layer instead`,
+				`obsimport.go:8:2: [obsimport] deterministic package probqos/internal/durability/fixture imports observability package "probqos/internal/trace"; observability reads replayed state but must never feed it — wire the two together in the service layer instead`,
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -149,9 +159,11 @@ func TestScopedAnalyzersSilentOutsideScope(t *testing.T) {
 		analyzer   *Analyzer
 	}{
 		{"detwallclock", "probqos/internal/obs/fixture", DetWallClock},
+		{"detwallclock", "probqos/internal/trace/fixture", DetWallClock},
 		{"detrand", "probqos/internal/obs/fixture", DetRand},
 		{"syncerr", "probqos/internal/obs/fixture", SyncErr},
 		{"syncerr", "probqos/cmd/fixture", SyncErr},
+		{"obsimport", "probqos/internal/service/fixture", ObsImport},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.importPath, func(t *testing.T) {
@@ -187,6 +199,26 @@ func TestMalformedDirectives(t *testing.T) {
 		"directive.go:11:1: [qoslint] //qoslint:allow names unknown analyzer \"nosuch\"",
 	}
 	diffStrings(t, got, want)
+}
+
+func TestIsObservabilityPkg(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"probqos/internal/obs", true},
+		{"probqos/internal/trace", true},
+		{"probqos/internal/trace/sub", true},
+		{"probqos/internal/sim", false},
+		{"probqos/internal/service", false},
+		{"probqos/cmd/tracegen", false},
+		{"probqos/trace", false}, // only internal/<name> is in the set
+	}
+	for _, tc := range cases {
+		if got := IsObservabilityPkg(tc.path); got != tc.want {
+			t.Errorf("IsObservabilityPkg(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
 }
 
 func TestIsDeterministicPkg(t *testing.T) {

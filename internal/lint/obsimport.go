@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// ObsImport forbids the deterministic packages from importing the
+// observability layer (internal/obs, internal/trace). Those packages read
+// the wall clock and hold request-scoped mutable state; if sim or
+// durability could reach a tracer or a metrics registry directly, a
+// replay-visible dependency on observation would be one refactor away.
+// The wiring lives in the service layer, which sits outside the
+// deterministic set and hands engine state outward — never back in.
+var ObsImport = &Analyzer{
+	Name: "obsimport",
+	Doc:  "forbid deterministic packages from importing the observability layer",
+	Run:  runObsImport,
+}
+
+func runObsImport(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path) {
+		return nil
+	}
+	forEachNode(pass, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ImportSpec)
+		if !ok {
+			return true
+		}
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || !IsObservabilityPkg(path) {
+			return true
+		}
+		pass.Reportf(spec.Pos(),
+			"deterministic package %s imports observability package %q; observability reads replayed state but must never feed it — wire the two together in the service layer instead",
+			pass.Pkg.Path, path)
+		return true
+	})
+	return nil
+}

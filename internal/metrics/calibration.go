@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"probqos/internal/sim"
+	"probqos/internal/stats"
 )
 
 // CalibrationBin is one row of a reliability diagram: among jobs promised a
@@ -21,6 +22,13 @@ type CalibrationBin struct {
 	// WorkShare is the fraction of total useful work in the bin.
 	WorkShare float64
 }
+
+// BinIndex maps a promised probability onto one of bins uniform
+// reliability-diagram buckets: [i/bins, (i+1)/bins), with the final bin
+// closed so a promise of exactly 1.0 lands in it. The rule lives in
+// stats.BinIndex so qosd's live promise ledger (internal/trace) bins
+// identically without importing the whole metrics layer.
+func BinIndex(promised float64, bins int) int { return stats.BinIndex(promised, bins) }
 
 // Calibration computes a reliability diagram over the promised success
 // probabilities with the given number of uniform bins (minimum 1). The
@@ -43,10 +51,7 @@ func Calibration(res *sim.Result, bins int) []CalibrationBin {
 		totalWork += j.Exec.Seconds() * float64(j.Nodes)
 	}
 	for _, j := range res.Jobs {
-		i := int(j.Promised * float64(bins))
-		if i >= bins {
-			i = bins - 1
-		}
+		i := BinIndex(j.Promised, bins)
 		b := &out[i]
 		b.Jobs++
 		b.PromisedMean += j.Promised

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // BucketSnapshot is one cumulative histogram bucket of a snapshot. The
@@ -122,7 +123,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, ms := range r.Snapshot() {
 		if ms.Help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", ms.Name, ms.Help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", ms.Name, escapeHelp(ms.Help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", ms.Name, ms.Type)
 		for _, ss := range ms.Series {
@@ -156,6 +157,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("obs: write json: %w", err)
 	}
 	return nil
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format, where
+// backslash and newline (but not quote) must be escaped. An embedded
+// newline would otherwise truncate the comment and corrupt the line after
+// it.
+func escapeHelp(help string) string {
+	if !strings.ContainsAny(help, "\\\n") {
+		return help
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(help)
 }
 
 // mergeLabelKey splices an extra label pair into a rendered `{...}` label

@@ -50,14 +50,57 @@ func TestWritePrometheus(t *testing.T) {
 }
 
 func TestPrometheusLabelEscaping(t *testing.T) {
+	// The Prometheus text format requires `\`, `"`, and newline in label
+	// values to appear as \\, \", and \n. Each case exercises one
+	// character alone, plus one combined value, so a regression in any
+	// single replacement is caught by name.
+	cases := []struct {
+		name, value, want string
+	}{
+		{"quote", `say "hi"`, `esc_total{msg="say \"hi\""} 1`},
+		{"backslash", `C:\temp`, `esc_total{msg="C:\\temp"} 1`},
+		{"newline", "two\nlines", `esc_total{msg="two\nlines"} 1`},
+		{"combined", "say \"hi\"\\\n", `esc_total{msg="say \"hi\"\\\n"} 1`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("esc_total", "h", Labels{"msg": tc.value}).Inc()
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), tc.want) {
+				t.Errorf("escaping wrong, want %s in:\n%s", tc.want, sb.String())
+			}
+			// Whatever the escaping did, the exposition must stay
+			// line-oriented: every line is a comment or ends in a value.
+			for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+				if line == "" {
+					t.Errorf("raw newline leaked into exposition:\n%s", sb.String())
+				}
+			}
+		})
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	// HELP text escapes backslash and newline (quotes stay literal). An
+	// unescaped newline would truncate the comment mid-way and leave the
+	// remainder as a junk line that breaks scrapers.
 	r := NewRegistry()
-	r.Counter("esc_total", "h", Labels{"msg": "say \"hi\"\\\n"}).Inc()
+	r.Counter("helpesc_total", "first line\nsecond \\ line \"quoted\"", nil).Inc()
 	var sb strings.Builder
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if want := `esc_total{msg="say \"hi\"\\\n"} 1`; !strings.Contains(sb.String(), want) {
-		t.Errorf("escaping wrong, want %s in:\n%s", want, sb.String())
+	want := `# HELP helpesc_total first line\nsecond \\ line "quoted"`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("help escaping wrong, want %q in:\n%s", want, sb.String())
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "# TYPE helpesc_total") {
+		t.Errorf("help text broke line structure:\n%s", sb.String())
 	}
 }
 

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"runtime"
+)
+
+// CaptureRuntime refreshes the Go runtime gauges in r: goroutine count,
+// heap occupancy, and cumulative GC pause time. It calls
+// runtime.ReadMemStats, which briefly stops the world, so it is meant to
+// run per metrics scrape (Server wires it through SetOnScrape), not on a
+// request path.
+func CaptureRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines", "live goroutines", nil).
+		Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go_memstats_heap_alloc_bytes", "bytes of allocated heap objects", nil).
+		Set(float64(ms.HeapAlloc))
+	r.Gauge("go_memstats_heap_objects", "allocated heap objects", nil).
+		Set(float64(ms.HeapObjects))
+	r.Gauge("go_memstats_sys_bytes", "bytes obtained from the OS", nil).
+		Set(float64(ms.Sys))
+	r.Gauge("go_gc_cycles_total", "completed GC cycles", nil).
+		Set(float64(ms.NumGC))
+	r.Gauge("go_gc_pause_seconds_total", "cumulative GC stop-the-world pause", nil).
+		Set(float64(ms.PauseTotalNs) / 1e9)
+}

@@ -26,6 +26,7 @@ type Server struct {
 	sampler  *Sampler
 	profiler *Profiler
 	health   func() (status string, detail map[string]any)
+	onScrape func()
 
 	started time.Time
 	srv     *http.Server
@@ -43,6 +44,15 @@ func NewServer(reg *Registry, sampler *Sampler, profiler *Profiler) *Server {
 // concurrency-safe. Call before the server starts serving.
 func (s *Server) SetHealth(fn func() (status string, detail map[string]any)) {
 	s.health = fn
+}
+
+// SetOnScrape installs a hook that runs before every /metrics and
+// /snapshot render, for gauges that are refreshed on demand rather than
+// maintained continuously (e.g. CaptureRuntime). The hook runs on handler
+// goroutines, so it must be concurrency-safe. Call before the server
+// starts serving.
+func (s *Server) SetOnScrape(fn func()) {
+	s.onScrape = fn
 }
 
 // Handler returns the endpoint mux, for embedding or tests.
@@ -82,6 +92,9 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.onScrape != nil {
+		s.onScrape()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -107,6 +120,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.onScrape != nil {
+		s.onScrape()
+	}
 	tail := defaultSnapshotTail
 	if v := r.URL.Query().Get("n"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"probqos/internal/failure"
+	"probqos/internal/trace"
 	"probqos/internal/units"
 )
 
@@ -49,6 +50,30 @@ func BenchmarkTracePFailSingleNode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		from := units.Time(i%1000) * 3600
 		p.PFail([]int{i % 128}, from, from.Add(6*units.Hour))
+	}
+}
+
+// BenchmarkTracePFailSingleNodeTracingDisabled is the single-node quote
+// query with the tracing layer compiled into the binary but disabled at
+// runtime: the nil-tracer scope/span calls around the hot loop must cost
+// nothing — bench-smoke asserts this stays at 0 allocs/op alongside the
+// plain benchmark above.
+func BenchmarkTracePFailSingleNodeTracingDisabled(b *testing.B) {
+	tr := benchTrace(b)
+	p, err := NewTrace(tr, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tracer *trace.Tracer // nil: tracing disabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := tracer.StartScope("bench")
+		sp := sc.Start("quote")
+		from := units.Time(i%1000) * 3600
+		p.PFail([]int{i % 128}, from, from.Add(6*units.Hour))
+		sp.End()
+		sc.Flush()
 	}
 }
 

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"probqos/internal/durability"
 	"probqos/internal/negotiate"
 	"probqos/internal/obs"
 	"probqos/internal/sim"
+	"probqos/internal/trace"
 	"probqos/internal/units"
 	"probqos/internal/workload"
 )
@@ -71,13 +73,15 @@ type walOp struct {
 }
 
 // machine is the replayable core of qosd: the engine, the session book,
-// and the job-ID counter. Live requests and WAL replay mutate it through
-// the same apply helpers, so recovery is the normal code path re-run, not
-// a parallel implementation that can drift.
+// the job-ID counter, and the promise ledger. Live requests and WAL replay
+// mutate it through the same apply helpers, so recovery is the normal code
+// path re-run, not a parallel implementation that can drift — including
+// the conformance record, which a crash must not be able to launder.
 type machine struct {
 	eng       *sim.Engine
 	book      *negotiate.Book
 	nextJobID int
+	ledger    *trace.Ledger
 }
 
 func newMachine(cfg Config) (machine, error) {
@@ -99,22 +103,40 @@ func newMachine(cfg Config) (machine, error) {
 	if err != nil {
 		return machine{}, err
 	}
-	return machine{eng: eng, book: book}, nil
+	return machine{eng: eng, book: book, ledger: trace.NewLedger(trace.DefaultBins)}, nil
 }
 
-// applyAdvance moves the clock and sweeps lapsed sessions: the transition
-// behind both /v1/advance and the speedup clock.
+// applyAdvance moves the clock, sweeps lapsed sessions, and settles every
+// promise the advance drove to a terminal state: the transition behind
+// both /v1/advance and the speedup clock. Settlement happens here — on
+// the journaled clock, inside the replayed path — so a recovered ledger
+// is identical to the one the crash interrupted.
 func (m *machine) applyAdvance(to units.Time) error {
 	if err := m.eng.AdvanceTo(to); err != nil {
 		return err
 	}
 	m.book.Sweep(m.eng.Now())
+	m.settlePromises()
 	return nil
+}
+
+// settlePromises asks the engine for the disposition of every open ledger
+// entry. JobCompleted is a kept promise; JobMissed — sticky from the
+// instant the deadline passes unmet — is a broken one.
+func (m *machine) settlePromises() {
+	m.ledger.Settle(m.eng.Now(), func(jobID int) (kept, terminal bool) {
+		st, ok := m.eng.Job(jobID)
+		if !ok {
+			return false, false
+		}
+		return st.State == sim.JobCompleted, st.State.Terminal()
+	})
 }
 
 // applyAdmit consumes the session (if any still exists), burns the job ID,
 // and admits. The ID is consumed even when admission then fails — live
-// and on replay alike — so the counter never reissues an ID.
+// and on replay alike — so the counter never reissues an ID. A successful
+// admit files the quoted promise in the ledger.
 func (m *machine) applyAdmit(op walOp) error {
 	if op.SessionID != "" {
 		m.book.Take(op.SessionID, m.eng.Now())
@@ -122,7 +144,11 @@ func (m *machine) applyAdmit(op walOp) error {
 	if op.Job.ID > m.nextJobID {
 		m.nextJobID = op.Job.ID
 	}
-	return m.eng.Admit(*op.Job, *op.Quote, op.Offers)
+	if err := m.eng.Admit(*op.Job, *op.Quote, op.Offers); err != nil {
+		return err
+	}
+	m.ledger.Admit(op.Job.ID, op.SessionID, op.Quote.Success, op.Quote.Deadline, m.eng.Now())
+	return nil
 }
 
 func (m *machine) applyFault(op walOp) error {
@@ -163,6 +189,10 @@ type persistedState struct {
 	Engine    sim.EngineState     `json:"engine"`
 	Book      negotiate.BookState `json:"book"`
 	NextJobID int                 `json:"next_job_id"`
+	// Ledger carries the promise-conformance record. A pointer so
+	// snapshots written before the ledger existed still decode (they
+	// restore an empty ledger).
+	Ledger *trace.LedgerState `json:"ledger,omitempty"`
 	// Clean marks a shutdown snapshot: the WAL was drained and truncated
 	// before exit, so a boot that finds it with an empty log was preceded
 	// by a graceful stop, not a crash.
@@ -170,10 +200,12 @@ type persistedState struct {
 }
 
 func (m *machine) export(clean bool) ([]byte, error) {
+	ledger := m.ledger.Export()
 	return json.Marshal(persistedState{
 		Engine:    m.eng.ExportState(),
 		Book:      m.book.Export(),
 		NextJobID: m.nextJobID,
+		Ledger:    &ledger,
 		Clean:     clean,
 	})
 }
@@ -215,6 +247,9 @@ func configDigest(cfg Config) string {
 // fsyncBounds bucket WAL append latency from 50µs to ~0.8s.
 var fsyncBounds = []float64{0.00005, 0.0002, 0.0008, 0.0032, 0.0128, 0.0512, 0.2048, 0.8192}
 
+// snapshotBounds bucket snapshot write latency from 1ms to ~4s.
+var snapshotBounds = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096}
+
 // recoverState opens the data dir, restores the snapshot, replays the WAL
 // through the machine, and leaves the store ready for appends. Called from
 // New before the state machine starts, so it owns all state unlocked.
@@ -225,6 +260,12 @@ func (s *Service) recoverState() error {
 		OnSync: func(d time.Duration) {
 			s.reg.Histogram("qosd_wal_fsync_seconds",
 				"WAL append latency (write + fsync)", fsyncBounds, nil).Observe(d.Seconds())
+		},
+		OnSnapshot: func(bytes int, d time.Duration) {
+			s.reg.Gauge("qosd_snapshot_last_bytes",
+				"encoded state size of the most recent snapshot", nil).Set(float64(bytes))
+			s.reg.Histogram("qosd_snapshot_seconds",
+				"durable snapshot write latency", snapshotBounds, nil).Observe(d.Seconds())
 		},
 	})
 	if err != nil {
@@ -251,6 +292,12 @@ func (s *Service) recoverState() error {
 			store.Close()
 			return fmt.Errorf("service: restore session book: %w", err)
 		}
+		if ps.Ledger != nil {
+			if err := s.ledger.Import(*ps.Ledger); err != nil {
+				store.Close()
+				return fmt.Errorf("service: restore promise ledger: %w", err)
+			}
+		}
 		s.nextJobID = ps.NextJobID
 		clean = ps.Clean
 	}
@@ -268,9 +315,13 @@ func (s *Service) recoverState() error {
 			return fmt.Errorf("service: replay wal record lsn %d: %w", rec.LSN, err)
 		}
 	}
+	replayDur := time.Since(begin)
 	if len(recs) > 0 {
-		store.SetReplayCost(time.Since(begin), len(recs))
+		store.SetReplayCost(replayDur, len(recs))
 	}
+	s.reg.Gauge("qosd_wal_replay_seconds",
+		"time spent restoring the snapshot and replaying the WAL at boot", nil).
+		Set(replayDur.Seconds())
 	s.store = store
 	s.info = RecoveryInfo{
 		Enabled:         true,
@@ -317,9 +368,14 @@ func (s *Service) logOp(op walOp) error {
 		s.broken = fmt.Errorf("service: encode wal op: %w", err)
 		return s.broken
 	}
-	if _, err := s.store.Append(payload); err != nil {
-		s.setDegraded(err)
-		return fmt.Errorf("%w: %v", errDegraded, err)
+	sp := s.curScope.Start("wal.append")
+	sp.Annotate("op", op.Kind)
+	sp.Annotate("bytes", strconv.Itoa(len(payload)))
+	_, aerr := s.store.Append(payload)
+	sp.End()
+	if aerr != nil {
+		s.setDegraded(aerr)
+		return fmt.Errorf("%w: %v", errDegraded, aerr)
 	}
 	s.reg.Counter("qosd_wal_records_total", "WAL records committed", nil).Inc()
 	return nil
@@ -368,10 +424,13 @@ func (s *Service) maybeCompact() {
 }
 
 func (s *Service) compact(clean bool) error {
+	sp := s.curScope.Start("snapshot")
+	defer sp.End()
 	state, err := s.machine.export(clean)
 	if err != nil {
 		return err
 	}
+	sp.Annotate("bytes", strconv.Itoa(len(state)))
 	if err := s.store.Compact(state, s.digest); err != nil {
 		return err
 	}

@@ -11,9 +11,15 @@ import (
 	"time"
 
 	"probqos/internal/sim"
+	"probqos/internal/trace"
 	"probqos/internal/units"
 	"probqos/internal/workload"
 )
+
+// traceHeader carries the request's trace ID: echoed back on every
+// response, and accepted inbound so qosctl (and retried attempts of one
+// logical call) correlate with server-side spans.
+const traceHeader = "X-Qos-Trace"
 
 // Wire limits. Request bodies are tiny JSON objects; anything bigger is a
 // client bug or abuse.
@@ -128,12 +134,20 @@ type stateResponse struct {
 	ExpiredSessions int `json:"expired_sessions"`
 }
 
+// conformanceResponse is the live promise ledger: streaming stats plus a
+// tail of individual ledger rows.
+type conformanceResponse struct {
+	trace.ConformanceStats
+	Entries []trace.Promise `json:"entries,omitempty"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 // Handler returns the full qosd API mux, with the obs endpoints
-// (/metrics, /healthz, /snapshot) mounted alongside /v1.
+// (/metrics, /healthz, /snapshot) mounted alongside /v1, the live promise
+// ledger on /qos/conformance, and the span-trace export on /debug/trace.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", s.obsSrv.Handler())
@@ -144,24 +158,50 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/faults", s.instrumented("faults", s.handleFault))
 	mux.HandleFunc("POST /v1/advance", s.instrumented("advance", s.handleAdvance))
 	mux.HandleFunc("GET /v1/state", s.instrumented("state", s.handleState))
+	mux.HandleFunc("GET /qos/conformance", s.instrumented("conformance", s.handleConformance))
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
 }
 
 // apiHandler produces a status code and a response body (or an error).
-type apiHandler func(r *http.Request) (int, any, error)
+// The scope is the request's trace collector — nil when tracing is
+// disabled, and every trace.Scope method is nil-safe, so handlers use it
+// unconditionally.
+type apiHandler func(r *http.Request, sc *trace.Scope) (int, any, error)
 
-// instrumented adapts an apiHandler to http.HandlerFunc, recording the
-// per-endpoint counter and latency histogram and rendering JSON.
+// instrumented adapts an apiHandler to http.HandlerFunc: it assigns (or
+// propagates) the request's trace ID, records the per-endpoint counter
+// and latency histogram, echoes span timings in a Server-Timing header,
+// and renders JSON. When tracing is disabled the only extra work is one
+// header lookup.
 func (s *Service) instrumented(endpoint string, h apiHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
-		code, body, err := h(r)
+		var sc *trace.Scope
+		traceID := r.Header.Get(traceHeader)
+		if s.tracer.Enabled() {
+			if traceID == "" {
+				traceID = trace.NewTraceID()
+			}
+			sc = s.tracer.StartScope(traceID)
+		}
+		if traceID != "" {
+			// Echo even with tracing off, so clients correlate retries.
+			w.Header().Set(traceHeader, traceID)
+		}
+		hs := sc.Start("http." + endpoint)
+		code, body, err := h(r, sc)
+		hs.End()
 		if err != nil {
 			body = errorResponse{Error: err.Error()}
+		}
+		if st := trace.ServerTiming(sc.Spans()); st != "" {
+			w.Header().Set("Server-Timing", st)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		json.NewEncoder(w).Encode(body)
+		sc.Flush()
 		s.observeRequest(endpoint, code, time.Since(begin))
 	}
 }
@@ -185,7 +225,7 @@ func errCode(err error) int {
 	}
 }
 
-func (s *Service) handleQuote(r *http.Request) (int, any, error) {
+func (s *Service) handleQuote(r *http.Request, sc *trace.Scope) (int, any, error) {
 	data, err := readBody(r)
 	if err != nil {
 		return http.StatusBadRequest, nil, err
@@ -204,11 +244,15 @@ func (s *Service) handleQuote(r *http.Request) (int, any, error) {
 	}
 
 	var resp quoteResponse
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			return
 		}
+		qs := sc.Start("quote")
+		qs.Annotate("nodes", strconv.Itoa(req.Nodes))
 		quotes := s.eng.Quotes(req.Nodes, units.Duration(req.ExecSeconds), max)
+		qs.Annotate("offers", strconv.Itoa(len(quotes)))
+		qs.End()
 		resp.Now = s.eng.Now()
 		resp.Quotes = make([]wireQuote, len(quotes))
 		for i, q := range quotes {
@@ -220,7 +264,10 @@ func (s *Service) handleQuote(r *http.Request) (int, any, error) {
 			}
 		}
 		if len(quotes) > 0 {
+			bs := sc.Start("book.open")
 			sess := s.book.Open(s.eng.Now(), req.Nodes, units.Duration(req.ExecSeconds), quotes)
+			bs.Annotate("session", sess.ID)
+			bs.End()
 			// Journaled after the fact, deliberately: losing a session
 			// record (crash here, or a degraded log) costs the client a 404
 			// on accept — renegotiate — never a broken promise. A degraded
@@ -243,7 +290,7 @@ func (s *Service) handleQuote(r *http.Request) (int, any, error) {
 	return http.StatusOK, resp, nil
 }
 
-func (s *Service) handleAccept(r *http.Request) (int, any, error) {
+func (s *Service) handleAccept(r *http.Request, sc *trace.Scope) (int, any, error) {
 	data, err := readBody(r)
 	if err != nil {
 		return http.StatusBadRequest, nil, err
@@ -260,7 +307,7 @@ func (s *Service) handleAccept(r *http.Request) (int, any, error) {
 		resp acceptResponse
 		code int
 	)
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			code = errCode(err)
 			return
@@ -274,7 +321,10 @@ func (s *Service) handleAccept(r *http.Request) (int, any, error) {
 			return
 		}
 		expiredBefore := s.book.Expired()
+		ts := sc.Start("book.take")
+		ts.Annotate("session", req.SessionID)
 		sess, ok := s.book.Take(req.SessionID, s.eng.Now())
+		ts.End()
 		if !ok {
 			if s.book.Expired() != expiredBefore {
 				// The take lapsed a real session (not a bogus ID): journal
@@ -328,7 +378,11 @@ func (s *Service) handleAccept(r *http.Request) (int, any, error) {
 			code, err = http.StatusServiceUnavailable, lerr
 			return
 		}
-		if admitErr := s.applyAdmit(op); admitErr != nil {
+		as := sc.Start("admit")
+		as.Annotate("job", strconv.Itoa(job.ID))
+		admitErr := s.applyAdmit(op)
+		as.End()
+		if admitErr != nil {
 			// The quoted slot is gone: the clock moved past its start, or a
 			// competing accept claimed the nodes first. Renegotiation is the
 			// protocol's answer, so this is a conflict, not a server error.
@@ -355,7 +409,7 @@ func (s *Service) handleAccept(r *http.Request) (int, any, error) {
 	return code, resp, nil
 }
 
-func (s *Service) handleJob(r *http.Request) (int, any, error) {
+func (s *Service) handleJob(r *http.Request, sc *trace.Scope) (int, any, error) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		return http.StatusBadRequest, nil, fmt.Errorf("job id %q is not an integer", r.PathValue("id"))
@@ -364,7 +418,7 @@ func (s *Service) handleJob(r *http.Request) (int, any, error) {
 		status sim.JobStatus
 		ok     bool
 	)
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			return
 		}
@@ -383,12 +437,12 @@ func (s *Service) handleJob(r *http.Request) (int, any, error) {
 	return http.StatusOK, status, nil
 }
 
-func (s *Service) handleJobs(r *http.Request) (int, any, error) {
+func (s *Service) handleJobs(r *http.Request, sc *trace.Scope) (int, any, error) {
 	var (
 		list []sim.JobStatus
 		err  error
 	)
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			return
 		}
@@ -410,7 +464,7 @@ func (s *Service) handleJobs(r *http.Request) (int, any, error) {
 	return http.StatusOK, list, nil
 }
 
-func (s *Service) handleFault(r *http.Request) (int, any, error) {
+func (s *Service) handleFault(r *http.Request, sc *trace.Scope) (int, any, error) {
 	data, err := readBody(r)
 	if err != nil {
 		return http.StatusBadRequest, nil, err
@@ -430,7 +484,7 @@ func (s *Service) handleFault(r *http.Request) (int, any, error) {
 		at   units.Time
 		code int
 	)
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			code = errCode(err)
 			return
@@ -471,7 +525,7 @@ func (s *Service) handleFault(r *http.Request) (int, any, error) {
 	return code, map[string]any{"node": req.Node, "at": at}, nil
 }
 
-func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
+func (s *Service) handleAdvance(r *http.Request, sc *trace.Scope) (int, any, error) {
 	data, err := readBody(r)
 	if err != nil {
 		return http.StatusBadRequest, nil, err
@@ -488,7 +542,7 @@ func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
 	}
 
 	var now units.Time
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			return
 		}
@@ -511,12 +565,12 @@ func (s *Service) handleAdvance(r *http.Request) (int, any, error) {
 	return http.StatusOK, map[string]units.Time{"now": now}, nil
 }
 
-func (s *Service) handleState(r *http.Request) (int, any, error) {
+func (s *Service) handleState(r *http.Request, sc *trace.Scope) (int, any, error) {
 	var (
 		resp stateResponse
 		err  error
 	)
-	doErr := s.do(func() {
+	doErr := s.doTraced(sc, func() {
 		if err = s.tick(); err != nil {
 			return
 		}
@@ -532,4 +586,56 @@ func (s *Service) handleState(r *http.Request) (int, any, error) {
 		return http.StatusInternalServerError, nil, err
 	}
 	return http.StatusOK, resp, nil
+}
+
+// defaultConformanceTail bounds the ledger rows echoed by /qos/conformance
+// unless ?n= asks for more (n=0 means every row).
+const defaultConformanceTail = 1000
+
+func (s *Service) handleConformance(r *http.Request, sc *trace.Scope) (int, any, error) {
+	tail := defaultConformanceTail
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return http.StatusBadRequest, nil, errors.New("invalid n")
+		}
+		tail = n
+	}
+	var (
+		resp conformanceResponse
+		err  error
+	)
+	doErr := s.doTraced(sc, func() {
+		if err = s.tick(); err != nil {
+			return
+		}
+		resp.ConformanceStats = s.ledger.Stats()
+		resp.Entries = s.ledger.Entries(tail)
+		s.updateGauges()
+	})
+	if doErr != nil {
+		return errCode(doErr), nil, doErr
+	}
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, resp, nil
+}
+
+// handleTrace streams the retained spans as Chrome trace_event JSON. It
+// bypasses the instrumented wrapper because its body is the export itself,
+// not an API object — but it still counts in the request metrics.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	if !s.tracer.Enabled() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(errorResponse{
+			Error: "tracing disabled; start qosd with a span budget (-trace-spans)"})
+		s.observeRequest("trace", http.StatusNotFound, time.Since(begin))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.Export(w, r.URL.Query().Get("trace"))
+	s.observeRequest("trace", http.StatusOK, time.Since(begin))
 }

@@ -28,6 +28,7 @@ import (
 	"probqos/internal/durability"
 	"probqos/internal/failure"
 	"probqos/internal/obs"
+	"probqos/internal/trace"
 	"probqos/internal/units"
 )
 
@@ -65,6 +66,12 @@ type Config struct {
 	// Registry receives the per-endpoint counters and latency histograms
 	// plus the cluster gauges. A nil Registry gets a private one.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records request-scoped spans (HTTP handling,
+	// book operations, WAL appends, snapshots, engine advances) retained
+	// in ring buffers and exported on /debug/trace. Nil disables tracing
+	// entirely — the nil-guarded span calls cost the request path nothing,
+	// mirroring sim.Probe.
+	Tracer *trace.Tracer
 	// DataDir, when non-empty, makes the service crash-safe: every
 	// state-mutating operation is appended to a write-ahead log under this
 	// directory before it is applied, and a periodic snapshot compacts the
@@ -114,6 +121,20 @@ type Service struct {
 	machine
 	reg    *obs.Registry
 	obsSrv *obs.Server
+
+	// tracer records request spans (nil when tracing is disabled).
+	// curScope is the scope of the request currently executing on the
+	// state-machine goroutine, so loop-side operations (WAL appends,
+	// snapshots, engine advances) attribute their spans to the right
+	// trace. Touched only on the loop goroutine.
+	tracer   *trace.Tracer
+	curScope *trace.Scope
+
+	// ledgerVersion is the last ledger version published to the gauges,
+	// so the quote fast path skips recomputing unchanged conformance
+	// stats. Touched only on the loop goroutine.
+	ledgerVersion uint64
+	ledgerSynced  bool
 
 	// Durability (nil store when no DataDir is configured). digest
 	// fingerprints the config for the snapshot; info records what startup
@@ -175,6 +196,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:     cfg,
 		machine: m,
 		reg:     cfg.Registry,
+		tracer:  cfg.Tracer,
 		reqs:    make(chan func()),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -189,6 +211,7 @@ func New(cfg Config) (*Service, error) {
 	s.clockBase = s.eng.Now()
 	s.clockMark = time.Now()
 	s.obsSrv = obs.NewServer(s.reg, nil, nil)
+	s.obsSrv.SetOnScrape(func() { obs.CaptureRuntime(s.reg) })
 	s.obsSrv.SetHealth(func() (string, map[string]any) {
 		if msg, _ := s.degradedMsg.Load().(string); msg != "" {
 			return "degraded", map[string]any{"wal_error": msg}
@@ -275,13 +298,30 @@ func (s *Service) advanceTo(t units.Time) error {
 	if err := s.logOp(walOp{Kind: opAdvance, To: t}); err != nil {
 		return err
 	}
-	if err := s.applyAdvance(t); err != nil {
+	sp := s.curScope.Start("engine.advance")
+	sp.Annotate("to", t.String())
+	err := s.applyAdvance(t)
+	sp.End()
+	if err != nil {
 		s.broken = fmt.Errorf("service: engine failed: %w", err)
 		return s.broken
 	}
 	s.clockBase = s.eng.Now()
 	s.clockMark = time.Now()
 	return nil
+}
+
+// doTraced runs fn on the state-machine goroutine with the request's
+// trace scope installed as curScope, so loop-side spans (WAL appends,
+// snapshots, engine advances) land in the request's trace. The scope
+// handoff is safe without locks: do's channel operations order every
+// access between the handler and the loop goroutine.
+func (s *Service) doTraced(sc *trace.Scope, fn func()) error {
+	return s.do(func() {
+		s.curScope = sc
+		fn()
+		s.curScope = nil
+	})
 }
 
 // Start binds addr (e.g. "127.0.0.1:0") and serves the API in a background
@@ -377,5 +417,51 @@ func (s *Service) updateGauges() {
 	} {
 		s.reg.Gauge("qosd_jobs", "admitted jobs by lifecycle state",
 			obs.Labels{"state": state}).Set(float64(n))
+	}
+	s.updateConformanceGauges()
+	if s.tracer.Enabled() {
+		s.reg.Gauge("qosd_trace_spans_dropped_total",
+			"spans overwritten in the trace ring before export", nil).
+			Set(float64(s.tracer.Dropped()))
+	}
+}
+
+// updateConformanceGauges publishes the promise ledger's streaming stats,
+// skipping the recomputation when nothing settled or was admitted since
+// the last publish (the common case on the quote fast path).
+func (s *Service) updateConformanceGauges() {
+	v := s.ledger.Version()
+	if s.ledgerSynced && v == s.ledgerVersion {
+		return
+	}
+	s.ledgerVersion = v
+	s.ledgerSynced = true
+	cs := s.ledger.Stats()
+	for outcome, n := range map[string]int{
+		"pending": cs.Open,
+		"kept":    cs.Kept,
+		"broken":  cs.Broken,
+	} {
+		s.reg.Gauge("qosd_promises", "admitted promises by outcome",
+			obs.Labels{"outcome": outcome}).Set(float64(n))
+	}
+	s.reg.Gauge("qosd_promise_keeping_rate",
+		"fraction of settled promises that were kept", nil).Set(cs.KeepingRate)
+	s.reg.Gauge("qosd_promise_brier_score",
+		"mean squared error of quoted probabilities against outcomes", nil).Set(cs.Brier)
+	for _, b := range cs.Bins {
+		if b.Settled == 0 {
+			continue
+		}
+		bin := fmt.Sprintf("%.1f", b.Lo)
+		s.reg.Gauge("qosd_conformance_bin_settled",
+			"settled promises per reliability-diagram bin (labelled by bin lower bound)",
+			obs.Labels{"lo": bin}).Set(float64(b.Settled))
+		s.reg.Gauge("qosd_conformance_bin_observed",
+			"kept fraction per reliability-diagram bin (labelled by bin lower bound)",
+			obs.Labels{"lo": bin}).Set(b.Observed)
+		s.reg.Gauge("qosd_conformance_bin_promised",
+			"mean quoted probability per reliability-diagram bin (labelled by bin lower bound)",
+			obs.Labels{"lo": bin}).Set(b.PromisedMean)
 	}
 }

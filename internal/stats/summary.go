@@ -5,6 +5,22 @@ import (
 	"sort"
 )
 
+// BinIndex maps a probability p onto one of bins uniform buckets:
+// [i/bins, (i+1)/bins), with the final bin closed so p = 1.0 lands in it
+// and out-of-range inputs clamp to the edge bins. It is the single
+// bucketing rule behind every reliability diagram in the repository
+// (metrics.Calibration offline, the trace package's promise ledger live).
+func BinIndex(p float64, bins int) int {
+	i := int(p * float64(bins))
+	if i >= bins {
+		i = bins - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
 // Summary holds descriptive statistics of a sample.
 type Summary struct {
 	N      int

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the retained spans rendered in the JSON
+// object format chrome://tracing and Perfetto load directly. Each span
+// becomes one complete ("ph":"X") event with microsecond timestamps
+// relative to the tracer's epoch; the trace ID rides along as an event
+// argument and picks the thread lane, so concurrent requests render as
+// parallel tracks.
+
+// chromeEvent is one trace_event entry on the wire.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds since epoch
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// laneCount bounds the number of Chrome thread lanes traces are spread
+// over.
+const laneCount = 32
+
+// Export writes the retained spans as Chrome trace_event JSON. A
+// non-empty traceID exports only that trace's spans.
+func (t *Tracer) Export(w io.Writer, traceID string) error {
+	if t == nil {
+		return fmt.Errorf("trace: tracing is disabled")
+	}
+	spans := t.Snapshot()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		if traceID != "" && sp.TraceID != traceID {
+			continue
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "qosd",
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  1 + int(hashID(sp.TraceID)%laneCount),
+			Args: map[string]string{"trace": sp.TraceID},
+		}
+		for k, v := range sp.Args {
+			ev.Args[k] = v
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("trace: export: %w", err)
+	}
+	return nil
+}

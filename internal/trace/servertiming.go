@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ServerTiming renders spans as an HTTP Server-Timing header value
+// (RFC 9211-style `name;dur=millis` entries), aggregating durations by
+// span name in first-seen order. qosctl -v prints it so a client sees
+// where its request's time went without fetching the full trace.
+func ServerTiming(spans []Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(spans))
+	total := make(map[string]float64, len(spans))
+	for _, sp := range spans {
+		if _, seen := total[sp.Name]; !seen {
+			names = append(names, sp.Name)
+		}
+		total[sp.Name] += float64(sp.Dur.Nanoseconds()) / 1e6
+	}
+	var sb strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(name)
+		sb.WriteString(";dur=")
+		sb.WriteString(strconv.FormatFloat(total[name], 'f', 3, 64))
+	}
+	return sb.String()
+}

@@ -42,6 +42,7 @@ import (
 	"probqos/internal/predict"
 	"probqos/internal/service"
 	"probqos/internal/sim"
+	"probqos/internal/trace"
 	"probqos/internal/units"
 	"probqos/internal/workload"
 )
@@ -359,6 +360,32 @@ type (
 func NewQoSServiceConfig(tr *FailureTrace) QoSServiceConfig {
 	return service.DefaultConfig(tr)
 }
+
+// Request tracing and promise conformance (internal/trace): request-scoped
+// spans with Chrome trace_event export, and the live ledger that scores
+// every admitted promise against its outcome.
+type (
+	// Tracer records request-scoped spans into per-shard ring buffers;
+	// assign one to QoSServiceConfig.Tracer (nil disables tracing).
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded interval of a traced request.
+	TraceSpan = trace.Span
+	// PromiseLedger scores admitted promises against their outcomes.
+	PromiseLedger = trace.Ledger
+	// PromiseEntry is one promise row of the ledger.
+	PromiseEntry = trace.Promise
+	// ConformanceStats are the ledger's streaming honesty statistics:
+	// keeping rate, Brier score, and reliability bins.
+	ConformanceStats = trace.ConformanceStats
+)
+
+// NewTracer returns a tracer holding up to capacity completed spans
+// (<= 0 means the 8192-span default).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// NewTraceID returns a fresh random request trace ID, as carried by the
+// X-Qos-Trace header.
+func NewTraceID() string { return trace.NewTraceID() }
 
 // NewQoSService builds and starts the service's state machine; callers
 // must Close it. Start binds the HTTP API.

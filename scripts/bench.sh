@@ -52,6 +52,20 @@ trap 'rm -f "$tmp" "$tmp.json"' EXIT
 echo "== predictor micro-benchmarks"
 go test -run '^$' -bench 'PFail' -benchtime "$benchtime" -count "$count" ./internal/predict | tee -a "$tmp"
 
+# Allocation gate: the single-node quote-path query must stay at
+# 0 allocs/op — including the variant that compiles the tracing layer into
+# the binary and leaves it disabled, proving the nil-tracer path is free.
+for b in BenchmarkTracePFailSingleNode BenchmarkTracePFailSingleNodeTracingDisabled; do
+    if ! grep -q "^$b" "$tmp"; then
+        echo "FAIL: $b missing from benchmark output" >&2
+        exit 1
+    fi
+    if grep "^$b" "$tmp" | grep -v ' 0 allocs/op' | grep -q .; then
+        echo "FAIL: $b no longer reports 0 allocs/op" >&2
+        exit 1
+    fi
+done
+
 echo "== trace-scan micro-benchmarks"
 go test -run '^$' -bench 'TraceScan' -benchtime "$benchtime" -count "$count" ./internal/failure | tee -a "$tmp"
 
