@@ -1,6 +1,7 @@
 // Command qossim runs a single probabilistic-QoS simulation and prints its
 // metrics: one (workload, failure trace, a, U) point of the paper's
-// evaluation.
+// evaluation. It also executes declarative scenario files (see
+// internal/scenario) through two subcommands.
 //
 // Usage:
 //
@@ -9,6 +10,13 @@
 //	       [-no-deadline-skip] [-no-fault-aware] [-no-negotiate]
 //	       [-pure-forecast] [-journal out.jsonl] [-json]
 //	       [-serve addr] [-hold] [-profile] [-series out.csv] [-sample-mins M]
+//	qossim run <scenario.yaml|dir>...
+//	qossim validate <scenario.yaml|dir>...
+//
+// run executes each scenario deterministically and prints its report as
+// JSON, exiting non-zero if any declared assertion fails; validate checks
+// scenario files and reports malformed input with file:line:col positions.
+// A directory argument expands to its *.yaml, *.yml, and *.json entries.
 //
 // Without -failures a synthetic trace matching the paper's AIX failure
 // data (1021 failures/year on 128 nodes, MTBF 8.5 h) is generated.
@@ -39,6 +47,14 @@ func main() {
 }
 
 func run(out io.Writer, args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenarios(out, args[1:])
+		case "validate":
+			return validateScenarios(out, args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("qossim", flag.ContinueOnError)
 	var (
 		logName      = fs.String("log", "SDSC", "workload: NASA, SDSC, or a path to an SWF file")

@@ -46,6 +46,11 @@ var deterministicDirs = map[string]bool{
 	"failure":    true,
 	"experiment": true,
 	"durability": true,
+	// The scenario runner replays declarative timelines onto the engine;
+	// golden zoo reports are byte-compared in CI, so the whole package —
+	// decoder included — must be input-pure. The promise-ledger import is
+	// annotated at the two sites that hold deterministic ledger state.
+	"scenario": true,
 }
 
 // IsDeterministicPkg reports whether the import path lies in (or under) one

@@ -235,6 +235,7 @@ func TestIsDeterministicPkg(t *testing.T) {
 		{"probqos/internal/experiment", true},
 		{"probqos/internal/durability", true},
 		{"probqos/internal/durability/sub", true},
+		{"probqos/internal/scenario", true},
 		{"probqos/internal/obs", false},
 		{"probqos/internal/service", false},
 		{"probqos/internal/stats", false},

@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeScenario hammers both scenario decoders — the YAML-subset
+// parser and the positional JSON parser — through the shared binder.
+// The decoder must never panic, and every scenario it does accept must
+// satisfy Validate: the runner builds engines and failure traces straight
+// from these fields, so an accepted-but-invalid document would turn a
+// config mistake into a runtime fault.
+func FuzzDecodeScenario(f *testing.F) {
+	// Full-surface documents in both encodings.
+	f.Add("zoo.yaml", []byte(yamlDoc))
+	f.Add("zoo.json", []byte(jsonDoc))
+
+	// Minimal valid documents.
+	f.Add("min.yaml", []byte("name: n\nseed: 1\nfleet:\n  nodes: 4\n"))
+	f.Add("min.json", []byte(`{"name": "n", "seed": 1, "fleet": {"nodes": 4}}`))
+
+	// Structural edge cases the hand-written parsers must reject cleanly.
+	f.Add("bad.yaml", []byte("\tname: tabbed\n"))
+	f.Add("bad.yaml", []byte("name: a\nname: b\n"))
+	f.Add("bad.yaml", []byte("seed: {inline: map}\n"))
+	f.Add("bad.yaml", []byte("events:\n  - at_s: 0\n    action: explode\n"))
+	f.Add("bad.yaml", []byte("fleet:\n  nodes: [1, 2\n"))
+	f.Add("bad.yaml", []byte("name: \"unterminated\n"))
+	f.Add("bad.yaml", []byte("deep:\n  deep:\n    deep:\n      deep: 1\n"))
+	f.Add("bad.yaml", []byte("- just\n- a\n- list\n"))
+	f.Add("bad.yaml", []byte("key:\n"))
+	f.Add("bad.yaml", []byte("#only a comment\n"))
+	f.Add("bad.json", []byte(`{"name": "n"} trailing`))
+	f.Add("bad.json", []byte(`{"name": "n", "name": "dup"}`))
+	f.Add("bad.json", []byte(`{"seed": 1e999}`))
+	f.Add("bad.json", []byte(`{"seed": null}`))
+	f.Add("bad.json", []byte(`[1, 2, 3]`))
+	f.Add("bad.json", []byte(`{"a": {"b": {"c": {"d": "e"`))
+	f.Add("bad.json", []byte(`"just a string"`))
+	f.Add("bad.json", []byte(``))
+	f.Add("bad.json", []byte(`{`))
+	f.Add("bad.json", []byte("{\"name\": \"\x00\"}"))
+
+	f.Fuzz(func(t *testing.T, name string, data []byte) {
+		// The extension picks the parser; keep it one of the two real
+		// ones so both sides of Decode stay under fuzz pressure.
+		if !strings.HasSuffix(name, ".json") {
+			name = strings.TrimSuffix(name, ".yaml") + ".yaml"
+		}
+		s, err := Decode(name, data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Decode(%q) returned both a scenario and error %v", data, err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatalf("Decode(%q) returned neither scenario nor error", data)
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Decode(%q) accepted a scenario that fails Validate: %v", data, verr)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A small recursive-descent JSON parser. encoding/json would happily decode
+// scenario files, but it cannot say *where* a bad field sits; this parser
+// produces the same position-carrying node tree the YAML-subset parser
+// does, so `qossim validate` reports file:line:col for both formats.
+
+type jsonParser struct {
+	name string
+	data []byte
+	i    int // byte offset
+	line int // 1-based
+	col  int // 1-based
+}
+
+func parseJSON(name string, data []byte) (*node, error) {
+	p := &jsonParser{name: name, data: data, line: 1, col: 1}
+	p.skipSpace()
+	root, err := p.parseValue(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i < len(p.data) {
+		return nil, fmt.Errorf("%s: trailing data after the top-level value", p.pos())
+	}
+	if root.kind != mapNode {
+		return nil, fmt.Errorf("%s: scenario document must be an object", root.pos)
+	}
+	return root, nil
+}
+
+func (p *jsonParser) pos() Pos { return Pos{p.name, p.line, p.col} }
+
+func (p *jsonParser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.pos(), fmt.Sprintf(format, args...))
+}
+
+// advance consumes n bytes, tracking line/col.
+func (p *jsonParser) advance(n int) {
+	for k := 0; k < n && p.i < len(p.data); k++ {
+		if p.data[p.i] == '\n' {
+			p.line++
+			p.col = 1
+		} else {
+			p.col++
+		}
+		p.i++
+	}
+}
+
+func (p *jsonParser) skipSpace() {
+	for p.i < len(p.data) {
+		switch p.data[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.advance(1)
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) peek() (byte, bool) {
+	if p.i >= len(p.data) {
+		return 0, false
+	}
+	return p.data[p.i], true
+}
+
+func (p *jsonParser) expect(c byte) error {
+	got, ok := p.peek()
+	if !ok {
+		return p.errf("unexpected end of input, expected %q", string(c))
+	}
+	if got != c {
+		return p.errf("expected %q, got %q", string(c), string(got))
+	}
+	p.advance(1)
+	return nil
+}
+
+func (p *jsonParser) parseValue(depth int) (*node, error) {
+	if depth > maxDepth {
+		return nil, p.errf("document nests deeper than %d levels", maxDepth)
+	}
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of input")
+	}
+	switch {
+	case c == '{':
+		return p.parseObject(depth)
+	case c == '[':
+		return p.parseArray(depth)
+	case c == '"':
+		pos := p.pos()
+		s, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		return &node{pos: pos, kind: scalarNode, scalar: s, quoted: true}, nil
+	case c == 't' || c == 'f' || c == 'n':
+		return p.parseLiteral()
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return nil, p.errf("unexpected character %q", string(c))
+	}
+}
+
+func (p *jsonParser) parseObject(depth int) (*node, error) {
+	n := newMapNode(p.pos())
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if c, ok := p.peek(); ok && c == '}' {
+		p.advance(1)
+		return n, nil
+	}
+	for {
+		p.skipSpace()
+		if c, _ := p.peek(); c != '"' {
+			return nil, p.errf("expected a quoted object key")
+		}
+		keyPos := p.pos()
+		key, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		child, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, fmt.Errorf("%s: duplicate key %q", keyPos, key)
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = child
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unexpected end of input inside object")
+		}
+		if c == ',' {
+			p.advance(1)
+			continue
+		}
+		if c == '}' {
+			p.advance(1)
+			return n, nil
+		}
+		return nil, p.errf("expected ',' or '}' in object, got %q", string(c))
+	}
+}
+
+func (p *jsonParser) parseArray(depth int) (*node, error) {
+	n := &node{pos: p.pos(), kind: listNode}
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if c, ok := p.peek(); ok && c == ']' {
+		p.advance(1)
+		return n, nil
+	}
+	for {
+		p.skipSpace()
+		item, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unexpected end of input inside array")
+		}
+		if c == ',' {
+			p.advance(1)
+			continue
+		}
+		if c == ']' {
+			p.advance(1)
+			return n, nil
+		}
+		return nil, p.errf("expected ',' or ']' in array, got %q", string(c))
+	}
+}
+
+// parseString consumes a JSON string token and returns its decoded value.
+func (p *jsonParser) parseString() (string, error) {
+	start := p.i
+	if err := p.expect('"'); err != nil {
+		return "", err
+	}
+	for p.i < len(p.data) {
+		switch p.data[p.i] {
+		case '\\':
+			p.advance(1)
+			if p.i >= len(p.data) {
+				return "", p.errf("unexpected end of input in string escape")
+			}
+			p.advance(1)
+		case '"':
+			p.advance(1)
+			raw := string(p.data[start:p.i])
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return "", fmt.Errorf("%s: bad string %s", Pos{p.name, p.line, p.col}, raw)
+			}
+			return s, nil
+		case '\n':
+			return "", p.errf("unescaped newline in string")
+		default:
+			p.advance(1)
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *jsonParser) parseLiteral() (*node, error) {
+	pos := p.pos()
+	for _, lit := range []string{"true", "false", "null"} {
+		if strings.HasPrefix(string(p.data[p.i:]), lit) {
+			p.advance(len(lit))
+			if c, ok := p.peek(); ok && isJSONBare(c) {
+				return nil, fmt.Errorf("%s: unexpected characters after %q", pos, lit)
+			}
+			n := &node{pos: pos, kind: scalarNode, scalar: lit}
+			n.null = lit == "null"
+			return n, nil
+		}
+	}
+	return nil, p.errf("unexpected literal")
+}
+
+func (p *jsonParser) parseNumber() (*node, error) {
+	pos := p.pos()
+	start := p.i
+	for p.i < len(p.data) && isJSONBare(p.data[p.i]) {
+		p.advance(1)
+	}
+	text := string(p.data[start:p.i])
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return nil, fmt.Errorf("%s: bad number %q", pos, text)
+	}
+	return &node{pos: pos, kind: scalarNode, scalar: text}, nil
+}
+
+// isJSONBare reports whether c can continue a bare number/literal token.
+func isJSONBare(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		c == '+' || c == '-' || c == '.'
+}

@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"fmt"
+
+	"probqos/internal/checkpoint"
+	"probqos/internal/negotiate"
+	"probqos/internal/sim"
+	"probqos/internal/stats"
+	//qoslint:allow obsimport the promise ledger is deterministic virtual-clock state, not wall-clock observability
+	"probqos/internal/trace"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// maxQuoteOffers bounds the §3.5 dialog per submission: the runner walks at
+// most this many successive offers looking for one whose promise clears the
+// user's risk threshold before giving up (a rejected submission).
+const maxQuoteOffers = 64
+
+// policyFor maps a scenario policy name to the checkpoint policy it selects.
+func policyFor(name string) (checkpoint.Policy, error) {
+	switch name {
+	case "risk":
+		return checkpoint.RiskBased{}, nil
+	case "periodic":
+		return checkpoint.Periodic{}, nil
+	case "never":
+		return checkpoint.Never{}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (one of risk, periodic, never)", name)
+}
+
+// Runner executes one scenario on a sim.Engine, step by step. A step is one
+// timeline event; a final implicit step drains the engine and settles the
+// last promises. The runner drives the engine exclusively through
+// Admit/AdvanceTo/InjectFailure, which keeps the engine's operation journal
+// faithful: Export/Resume mid-scenario reproduces the exact final report.
+type Runner struct {
+	scn    *Scenario
+	eng    *sim.Engine
+	ledger *trace.Ledger
+
+	step      int // next timeline step; len(scn.Events)+1 total (final drain)
+	nextJobID int
+	submitted int
+	rejected  int
+	injected  int
+}
+
+// NewRunner validates the scenario, generates its background failure trace,
+// and assembles the engine.
+func NewRunner(s *Scenario) (*Runner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	eng, ledger, err := buildEngine(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{scn: s, eng: eng, ledger: ledger, nextJobID: 1}, nil
+}
+
+// buildEngine constructs the fresh engine + ledger pair a scenario defines;
+// NewRunner and Resume share it so a resumed run restores onto an engine
+// identical to the original.
+func buildEngine(s *Scenario) (*sim.Engine, *trace.Ledger, error) {
+	bg, err := backgroundTrace(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	policy, err := policyFor(s.Fleet.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := sim.DefaultConfig(nil, bg)
+	cfg.Nodes = s.Fleet.Nodes
+	cfg.Accuracy = s.Fleet.Accuracy
+	cfg.UserRisk = s.Fleet.UserRisk
+	cfg.Checkpoint = s.Fleet.Checkpoint
+	cfg.Downtime = s.Fleet.Downtime
+	cfg.Policy = policy
+	cfg.FaultAware = s.Fleet.FaultAware
+	cfg.DeadlineSkip = s.Fleet.DeadlineSkip
+	cfg.BaseRateFloor = s.Fleet.BaseRateFloor
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return eng, trace.NewLedger(0), nil
+}
+
+// Scenario returns the scenario the runner executes.
+func (r *Runner) Scenario() *Scenario { return r.scn }
+
+// Done reports whether every step (including the final drain) has run.
+func (r *Runner) Done() bool { return r.step > len(r.scn.Events) }
+
+// Step applies the next timeline event (or, past the last event, the final
+// drain-and-settle). It returns an error only for engine-level failures; a
+// scenario that admits nothing is a valid — if dull — run.
+func (r *Runner) Step() error {
+	if r.Done() {
+		return fmt.Errorf("scenario %s: already finished", r.scn.Name)
+	}
+	i := r.step
+	r.step++
+	if i == len(r.scn.Events) {
+		if err := r.eng.Drain(); err != nil {
+			return fmt.Errorf("scenario %s: drain: %w", r.scn.Name, err)
+		}
+		r.settle()
+		return nil
+	}
+	ev := r.scn.Events[i]
+	// Events are ordered, but a resumed engine may already sit past the
+	// event instant (Restore replays to the journal clock); never rewind.
+	at := ev.At.Max(r.eng.Now())
+	if err := r.eng.AdvanceTo(at); err != nil {
+		return fmt.Errorf("scenario %s: events[%d]: %w", r.scn.Name, i, err)
+	}
+	r.settle()
+	switch ev.Action {
+	case ActionArrivalBurst:
+		if err := r.burst(i, ev); err != nil {
+			return err
+		}
+	case ActionInjectFail:
+		for k, node := range ev.Inject.Nodes {
+			failAt := at.Add(ev.Inject.Stagger * units.Duration(k))
+			if err := r.eng.InjectFailure(node, failAt); err != nil {
+				return fmt.Errorf("scenario %s: events[%d]: %w", r.scn.Name, i, err)
+			}
+			r.injected++
+		}
+	case ActionMaintenance:
+		// The cluster keeps the longest outage per node, so re-failing the
+		// node every downtime keeps it contiguously dark for the window.
+		m := ev.Maintenance
+		for _, node := range m.Nodes {
+			for off := units.Duration(0); off < m.Duration; off += r.scn.Fleet.Downtime {
+				if err := r.eng.InjectFailure(node, at.Add(off)); err != nil {
+					return fmt.Errorf("scenario %s: events[%d]: %w", r.scn.Name, i, err)
+				}
+				r.injected++
+			}
+		}
+	case ActionMTBFShift:
+		// Already folded into the background trace at generation time;
+		// nothing to do at runtime.
+	case ActionDrain:
+		if err := r.eng.Drain(); err != nil {
+			return fmt.Errorf("scenario %s: events[%d]: drain: %w", r.scn.Name, i, err)
+		}
+		r.settle()
+	}
+	return nil
+}
+
+// burst runs one arrival_burst: Jobs submissions spread evenly over the
+// spread window, each quoting and admitting the first offer whose promised
+// success clears the user risk. Job shapes come from a per-event stream
+// derived statelessly from (seed, event index), so a resumed run re-derives
+// the same jobs without replaying earlier bursts.
+func (r *Runner) burst(i int, ev Event) error {
+	b := ev.Burst
+	rng := stats.NewSource(r.scn.Seed).Split(fmt.Sprintf("event-%d", i))
+	u := b.UserRisk
+	if u < 0 {
+		u = r.scn.Fleet.UserRisk
+	}
+	user := negotiate.User{U: u}
+	for k := 0; k < b.Jobs; k++ {
+		nodes := b.MinNodes + rng.Intn(b.MaxNodes-b.MinNodes+1)
+		exec := b.MinExec + units.Duration(rng.Int63n(int64(b.MaxExec-b.MinExec)+1))
+		var arriveAt units.Time
+		if b.Jobs > 1 {
+			arriveAt = ev.At.Add(b.Spread * units.Duration(k) / units.Duration(b.Jobs-1))
+		} else {
+			arriveAt = ev.At
+		}
+		if err := r.eng.AdvanceTo(arriveAt.Max(r.eng.Now())); err != nil {
+			return fmt.Errorf("scenario %s: events[%d] job %d: %w", r.scn.Name, i, k, err)
+		}
+		r.settle()
+		r.submitted++
+		quotes := r.eng.Quotes(nodes, exec, maxQuoteOffers)
+		admitted := false
+		for rank, q := range quotes {
+			if !user.Accepts(q.Success) {
+				continue
+			}
+			job := workload.Job{ID: r.nextJobID, Arrival: r.eng.Now(), Nodes: nodes, Exec: exec}
+			if err := r.eng.Admit(job, q, rank+1); err != nil {
+				return fmt.Errorf("scenario %s: events[%d] job %d: %w", r.scn.Name, i, k, err)
+			}
+			r.ledger.Admit(job.ID, "", q.Success, q.Deadline, r.eng.Now())
+			r.nextJobID++
+			admitted = true
+			break
+		}
+		if !admitted {
+			r.rejected++
+		}
+	}
+	return nil
+}
+
+// settle resolves every open promise whose job reached a terminal state.
+func (r *Runner) settle() {
+	now := r.eng.Now()
+	r.ledger.Settle(now, func(jobID int) (kept, terminal bool) {
+		js, ok := r.eng.Job(jobID)
+		if !ok {
+			return false, false
+		}
+		return js.State == sim.JobCompleted, js.State.Terminal()
+	})
+}
+
+// Run executes every remaining step and returns the final report.
+func (r *Runner) Run() (*Report, error) {
+	for !r.Done() {
+		if err := r.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return r.Report(), nil
+}
+
+// State is a mid-scenario snapshot: the scenario itself plus the engine's
+// operation journal, the ledger, and the runner's counters. Resume on a
+// fresh process reconstructs a runner that finishes with the exact report
+// the uninterrupted run would have produced.
+type State struct {
+	Scenario  *Scenario         `json:"scenario"`
+	Step      int               `json:"step"`
+	NextJobID int               `json:"next_job_id"`
+	Submitted int               `json:"submitted"`
+	Rejected  int               `json:"rejected"`
+	Injected  int               `json:"injected"`
+	Engine    sim.EngineState   `json:"engine"`
+	Ledger    trace.LedgerState `json:"ledger"`
+}
+
+// Export snapshots the runner between steps.
+func (r *Runner) Export() State {
+	return State{
+		Scenario:  r.scn,
+		Step:      r.step,
+		NextJobID: r.nextJobID,
+		Submitted: r.submitted,
+		Rejected:  r.rejected,
+		Injected:  r.injected,
+		Engine:    r.eng.ExportState(),
+		Ledger:    r.ledger.Export(),
+	}
+}
+
+// Resume reconstructs a runner from an exported State: a fresh engine built
+// from the scenario (identical config and background trace), the operation
+// journal replayed, the ledger imported.
+func Resume(st State) (*Runner, error) {
+	if st.Scenario == nil {
+		return nil, fmt.Errorf("scenario: resume state has no scenario")
+	}
+	if err := st.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	eng, ledger, err := buildEngine(st.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Restore(st.Engine); err != nil {
+		return nil, fmt.Errorf("scenario %s: resume: %w", st.Scenario.Name, err)
+	}
+	if err := ledger.Import(st.Ledger); err != nil {
+		return nil, fmt.Errorf("scenario %s: resume: %w", st.Scenario.Name, err)
+	}
+	return &Runner{
+		scn:       st.Scenario,
+		eng:       eng,
+		ledger:    ledger,
+		step:      st.Step,
+		nextJobID: st.NextJobID,
+		submitted: st.Submitted,
+		rejected:  st.Rejected,
+		injected:  st.Injected,
+	}, nil
+}

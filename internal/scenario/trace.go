@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"probqos/internal/failure"
+	"probqos/internal/stats"
+	"probqos/internal/units"
+)
+
+// maxBackgroundFailures caps trace generation so a scenario with a tiny
+// shifted MTBF over a long horizon fails loudly instead of allocating an
+// absurd trace.
+const maxBackgroundFailures = 200_000
+
+// backgroundTrace generates the scenario's background failure trace: Weibull
+// inter-failure gaps at the fleet MTBF, with mtbf_shift timeline events
+// folded in as piecewise rate changes (each gap is sampled at the rate in
+// effect at the instant the gap starts). Node choice and detectability come
+// from the same seeded stream, so the whole trace is a pure function of the
+// scenario. The predictor prices these failures in at the fleet accuracy —
+// unlike inject_failure events, which stay invisible surprises.
+func backgroundTrace(s *Scenario) (*failure.Trace, error) {
+	fm := s.Fleet.Failures
+	if fm.MTBF <= 0 {
+		return failure.NewTrace(s.Fleet.Nodes, nil)
+	}
+	horizon := fm.Horizon
+	if horizon == 0 {
+		horizon = units.Duration(s.LastEventAt()) + 2*units.Week
+	}
+	type segment struct {
+		at     units.Time
+		factor float64
+	}
+	segments := []segment{{0, 1}}
+	for _, ev := range s.Events {
+		if ev.Action == ActionMTBFShift {
+			segments = append(segments, segment{ev.At, ev.Shift.Factor})
+		}
+	}
+	src := stats.NewSource(s.Seed).Split("background-failures")
+	// Weibull mean = scale * Gamma(1 + 1/shape); invert for the scale that
+	// hits the target MTBF.
+	gamma := math.Gamma(1 + 1/fm.Shape)
+	var events []failure.Event
+	t := 0.0
+	end := horizon.Seconds()
+	for t < end {
+		factor := 1.0
+		for _, seg := range segments {
+			if float64(seg.at) <= t {
+				factor = seg.factor
+			}
+		}
+		t += src.Weibull(fm.Shape, fm.MTBF.Seconds()*factor/gamma)
+		if t >= end {
+			break
+		}
+		if len(events) >= maxBackgroundFailures {
+			return nil, fmt.Errorf("scenario %s: background failure model generates more than %d failures over %v; raise the MTBF or shrink the horizon",
+				s.Name, maxBackgroundFailures, horizon)
+		}
+		events = append(events, failure.Event{
+			Time:          units.Time(math.Round(t)),
+			Node:          src.Intn(s.Fleet.Nodes),
+			Detectability: src.Float64(),
+		})
+	}
+	return failure.NewTrace(s.Fleet.Nodes, events)
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"probqos/internal/failure"
+	"probqos/internal/negotiate"
+	"probqos/internal/units"
+	"probqos/internal/workload"
+)
+
+// edgeTestEngine builds a small interactive engine with no background
+// failures, advanced to a known non-zero instant so "the past" exists.
+func edgeTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	tr, err := failure.NewTrace(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(nil, tr)
+	cfg.Nodes = 8
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AdvanceTo(units.Time(1 * units.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestInjectFailureEdges pins the exact rejection (and acceptance)
+// behavior of InjectFailure at the boundaries a scenario runner hits:
+// instants in the past, nodes off either end of the cluster, and repeat
+// injections on a node that is already down.
+func TestInjectFailureEdges(t *testing.T) {
+	now := units.Time(1 * units.Hour)
+	cases := []struct {
+		name    string
+		node    int
+		at      units.Time
+		wantErr string // "" means the injection must be accepted
+	}{
+		{
+			name:    "past instant",
+			node:    2,
+			at:      now.Add(-1 * units.Minute),
+			wantErr: fmt.Sprintf("sim: cannot inject a failure at %v, clock is at %v", now.Add(-1*units.Minute), now),
+		},
+		{
+			name:    "negative node",
+			node:    -1,
+			at:      now,
+			wantErr: "sim: node -1 outside [0,8)",
+		},
+		{
+			name:    "node one past the end",
+			node:    8,
+			at:      now,
+			wantErr: "sim: node 8 outside [0,8)",
+		},
+		{name: "node zero at now", node: 0, at: now},
+		{name: "last node in range", node: 7, at: now.Add(1 * units.Hour)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := edgeTestEngine(t)
+			err := eng.InjectFailure(tc.node, tc.at)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("InjectFailure(%d, %v) = %v, want accepted", tc.node, tc.at, err)
+				}
+				return
+			}
+			if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("InjectFailure(%d, %v) = %v, want %q", tc.node, tc.at, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestInjectFailureOnDownNode documents that a second failure on a node
+// already in its downtime window is accepted, not an error: the node
+// stays dark for the union of the outages (this is how the scenario
+// runner models maintenance windows, re-failing nodes back to back).
+func TestInjectFailureOnDownNode(t *testing.T) {
+	eng := edgeTestEngine(t)
+	now := eng.Now()
+	if err := eng.InjectFailure(3, now); err != nil {
+		t.Fatalf("first failure: %v", err)
+	}
+	// Re-fail the node while the first outage's downtime is still running.
+	if err := eng.InjectFailure(3, now.Add(1*units.Minute)); err != nil {
+		t.Fatalf("duplicate failure on down node: %v", err)
+	}
+	if err := eng.AdvanceTo(now.Add(10 * units.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Both injections must be journaled: a restore has to replay the
+	// union of the outages, not just the first.
+	var faults int
+	for _, op := range eng.ExportState().Ops {
+		if op.Kind == OpFault {
+			faults++
+		}
+	}
+	if faults != 2 {
+		t.Fatalf("journaled %d fault ops, want 2", faults)
+	}
+}
+
+// TestAdmitEdges pins the exact errors Admit returns for the ways an
+// interactive client can present a bad (job, quote) pair.
+func TestAdmitEdges(t *testing.T) {
+	now := units.Time(1 * units.Hour)
+	goodJob := func(id int) workload.Job {
+		return workload.Job{ID: id, Arrival: now, Nodes: 2, Exec: 1 * units.Hour}
+	}
+	cases := []struct {
+		name    string
+		setup   func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote)
+		wantErr string
+		wantIs  error // additionally assert errors.Is against this sentinel
+	}{
+		{
+			name: "stale quote",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				q := liveQuote(t, eng, 2)
+				if err := eng.AdvanceTo(eng.Now().Add(2 * units.Hour)); err != nil {
+					t.Fatal(err)
+				}
+				j := goodJob(1)
+				j.Arrival = eng.Now()
+				return j, q
+			},
+			wantErr: fmt.Sprintf("sim: quote start is in the past: start %v, now %v",
+				now, now.Add(2*units.Hour)),
+			wantIs: ErrStaleQuote,
+		},
+		{
+			name: "duplicate job ID",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				q := liveQuote(t, eng, 2)
+				if err := eng.Admit(goodJob(1), q, 1); err != nil {
+					t.Fatal(err)
+				}
+				return goodJob(1), liveQuote(t, eng, 2)
+			},
+			wantErr: "sim: job 1 already admitted",
+		},
+		{
+			name: "quote sized for a different job",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				q := liveQuote(t, eng, 3)
+				return goodJob(1), q // job wants 2 nodes, quote reserves 3
+			},
+			wantErr: "sim: quote reserves 3 nodes but job 1 needs 2",
+		},
+		{
+			name: "job larger than the cluster",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				j := goodJob(1)
+				j.Nodes = 9
+				return j, liveQuote(t, eng, 2)
+			},
+			wantErr: "workload: job 1 needs 9 nodes but the cluster has 8",
+		},
+		{
+			name: "non-positive size",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				j := goodJob(1)
+				j.Nodes = 0
+				return j, liveQuote(t, eng, 2)
+			},
+			wantErr: "workload: job 1 has non-positive size 0",
+		},
+		{
+			name: "non-positive runtime",
+			setup: func(t *testing.T, eng *Engine) (workload.Job, negotiate.Quote) {
+				j := goodJob(1)
+				j.Exec = 0
+				return j, liveQuote(t, eng, 2)
+			},
+			wantErr: "workload: job 1 has non-positive runtime 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := edgeTestEngine(t)
+			job, q := tc.setup(t, eng)
+			err := eng.Admit(job, q, 1)
+			if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("Admit = %v, want %q", err, tc.wantErr)
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Fatalf("Admit error %v does not wrap %v", err, tc.wantIs)
+			}
+			// A rejected admission must leave no trace: no job record,
+			// and nothing in the replay journal.
+			if _, ok := eng.Job(job.ID); ok && tc.wantErr != "sim: job 1 already admitted" {
+				t.Fatalf("rejected job %d is tracked", job.ID)
+			}
+		})
+	}
+}
+
+// liveQuote fetches the first current quote for a job of the given size.
+func liveQuote(t *testing.T, eng *Engine, size int) negotiate.Quote {
+	t.Helper()
+	qs := eng.Quotes(size, 1*units.Hour, 1)
+	if len(qs) == 0 {
+		t.Fatalf("no quotes for size %d", size)
+	}
+	return qs[0]
+}

@@ -40,6 +40,7 @@ import (
 	"probqos/internal/negotiate"
 	"probqos/internal/obs"
 	"probqos/internal/predict"
+	"probqos/internal/scenario"
 	"probqos/internal/service"
 	"probqos/internal/sim"
 	"probqos/internal/trace"
@@ -390,3 +391,43 @@ func NewTraceID() string { return trace.NewTraceID() }
 // NewQoSService builds and starts the service's state machine; callers
 // must Close it. Start binds the HTTP API.
 func NewQoSService(cfg QoSServiceConfig) (*QoSService, error) { return service.New(cfg) }
+
+// Declarative scenario harness (internal/scenario): fleet + timeline +
+// assertions compiled deterministically onto the engine; see
+// internal/scenario/zoo for the golden regression corpus.
+type (
+	// Scenario is one parsed scenario file: fleet, events, assertions.
+	Scenario = scenario.Scenario
+	// ScenarioRunner executes a scenario step by step on a sim engine.
+	ScenarioRunner = scenario.Runner
+	// ScenarioReport is the stable machine-readable outcome of one run.
+	ScenarioReport = scenario.Report
+	// ScenarioState is a mid-run snapshot for export/resume.
+	ScenarioState = scenario.State
+)
+
+// DecodeScenario parses and validates a scenario file (JSON if the name
+// ends in .json, the YAML subset otherwise), reporting malformed input
+// with file:line:col positions.
+func DecodeScenario(name string, data []byte) (*Scenario, error) {
+	return scenario.Decode(name, data)
+}
+
+// NewScenarioRunner validates a scenario and assembles its engine.
+func NewScenarioRunner(s *Scenario) (*ScenarioRunner, error) { return scenario.NewRunner(s) }
+
+// ResumeScenario reconstructs a runner from an exported ScenarioState.
+func ResumeScenario(st ScenarioState) (*ScenarioRunner, error) { return scenario.Resume(st) }
+
+// RunScenario decodes, runs, and reports one scenario in a single call.
+func RunScenario(name string, data []byte) (*ScenarioReport, error) {
+	s, err := scenario.Decode(name, data)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scenario.NewRunner(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}

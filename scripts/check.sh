@@ -26,4 +26,7 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== qossim validate internal/scenario/zoo"
+go run ./cmd/qossim validate internal/scenario/zoo
+
 echo "OK"
