@@ -51,8 +51,13 @@ func scenarioFiles(paths []string) ([]string, error) {
 			}
 		}
 		if len(files) == before {
-			return nil, fmt.Errorf("directory %s holds no scenario files", p)
+			return nil, fmt.Errorf("no scenarios found: directory %s holds no scenario files", p)
 		}
+	}
+	// Defense in depth: run/validate on an empty list would "succeed"
+	// without simulating anything, which reads as a green CI gate.
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenarios found in %s", strings.Join(paths, ", "))
 	}
 	return files, nil
 }

@@ -126,3 +126,31 @@ func TestScenarioSubcommandArgErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestScenarioSubcommandsRejectEmptyDirectories pins the exit-non-zero
+// contract for both subcommands when a directory expands to zero scenario
+// files — a CI gate pointed at an empty or misnamed zoo directory must fail
+// loudly, not report success having simulated nothing.
+func TestScenarioSubcommandsRejectEmptyDirectories(t *testing.T) {
+	for _, sub := range []string{"run", "validate"} {
+		t.Run(sub, func(t *testing.T) {
+			dir := t.TempDir()
+			// Entries a scenario walk must ignore: a subdirectory and a
+			// non-scenario extension.
+			if err := os.Mkdir(filepath.Join(dir, "nested"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a scenario"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			err := run(&sb, []string{sub, dir})
+			if err == nil {
+				t.Fatalf("%s on a scenario-free directory succeeded", sub)
+			}
+			if !strings.Contains(err.Error(), "no scenarios found") {
+				t.Errorf("err = %v, want a 'no scenarios found' message", err)
+			}
+		})
+	}
+}

@@ -104,17 +104,22 @@ func run(out io.Writer, args []string) error {
 		}
 	}
 
-	for i, exp := range selected {
+	// Experiments run concurrently over the shared Env (each one also
+	// parallelizes its own points; the Env's simulation semaphore bounds the
+	// stack), then render in input order — byte-identical to a serial loop,
+	// including stopping at the first failed experiment.
+	results := experiment.RunAll(env, selected, *workers)
+	for i, res := range results {
+		exp := res.Exp
 		if i > 0 {
 			fmt.Fprintln(out)
 		}
 		fmt.Fprintf(out, "== %s: %s\n", exp.ID, exp.Title)
 		fmt.Fprintf(out, "   paper: %s\n", exp.Paper)
-		tables, err := exp.Run(env)
-		if err != nil {
-			return fmt.Errorf("%s: %w", exp.ID, err)
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, res.Err)
 		}
-		for k, t := range tables {
+		for k, t := range res.Tables {
 			fmt.Fprintln(out)
 			if *asCSV {
 				if err := t.WriteCSV(out); err != nil {

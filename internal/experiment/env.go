@@ -40,6 +40,14 @@ type Env struct {
 	// may come from concurrent workers. Set it before running experiments.
 	Progress func(done, queued int)
 
+	// sem bounds concurrently *running* simulations across every caller —
+	// Prefetch pools, direct Point calls, custom runs, and RunAll's
+	// experiment workers — so stacked parallelism (experiments × points)
+	// cannot oversubscribe the machine. Sized to workers() on first use;
+	// set Workers before the first simulation runs.
+	semOnce sync.Once
+	sem     chan struct{}
+
 	mu             sync.Mutex
 	progressDone   int
 	progressQueued int
@@ -101,6 +109,16 @@ func (e *Env) workers() int {
 		return e.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// acquireSim claims one machine-wide simulation slot and returns its
+// release. Hold the slot only around the simulation itself — never while
+// blocking on a memo or an inflight point, so slot holders always make
+// progress and the semaphore cannot deadlock.
+func (e *Env) acquireSim() func() {
+	e.semOnce.Do(func() { e.sem = make(chan struct{}, e.workers()) })
+	e.sem <- struct{}{}
+	return func() { <-e.sem }
 }
 
 // logMemo returns the memo cell for a workload key, creating it on first
@@ -358,7 +376,9 @@ func (e *Env) compute(key pointKey) (metrics.Report, error) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	release := e.acquireSim()
 	res, err := simRun(cfg)
+	release()
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("experiment: %s a=%.1f U=%.1f %q: %w",
 			key.log, key.a, key.u, key.variant, err)

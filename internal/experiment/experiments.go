@@ -493,7 +493,9 @@ func runCustom(e *Env, logName string, a, u float64, mutate func(*sim.Config)) (
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := sim.Run(cfg)
+	release := e.acquireSim()
+	res, err := simRun(cfg)
+	release()
 	if err != nil {
 		return metrics.Report{}, err
 	}

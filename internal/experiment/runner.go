@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"sync"
+
+	"probqos/internal/table"
+)
+
+// RunResult is one experiment's outcome from RunAll, in input order.
+type RunResult struct {
+	Exp    Experiment
+	Tables []*table.Table
+	Err    error
+}
+
+// RunAll executes the experiments across a pool of workers sharing one Env
+// and returns their results indexed like the input. Experiments overlap
+// freely: the Env memoizes and single-flights every simulation point, so
+// shared (log, a, U) points are still computed exactly once, and the Env's
+// simulation semaphore bounds the machine-wide concurrency even though each
+// experiment also parallelizes internally (Prefetch).
+//
+// Determinism: every table is a pure function of memoized point results,
+// which are themselves deterministic per point key, so the returned tables
+// are identical whatever the worker count or completion order — rendering
+// results in input order reproduces the serial output byte for byte.
+//
+// An experiment's error does not stop the others (their points are often
+// shared, and results report per-experiment); callers that want serial
+// error semantics stop at the first Err in input order.
+func RunAll(env *Env, exps []Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = env.workers()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	if len(exps) == 0 {
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				tables, err := exps[i].Run(env)
+				results[i] = RunResult{Exp: exps[i], Tables: tables, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+
+	"probqos/internal/table"
+)
+
+// renderResults encodes RunAll output the way a caller would consume it:
+// in input order, stopping at the first error. Byte-comparing two renderings
+// is exactly the qossweep guarantee under test.
+func renderResults(t *testing.T, results []RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Exp.ID, res.Err)
+		}
+		if err := enc.Encode(struct {
+			ID     string         `json:"id"`
+			Tables []*table.Table `json:"tables"`
+		}{res.Exp.ID, res.Tables}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllByteIdenticalToSerial is the tentpole determinism gate: the same
+// experiments through RunAll at one worker and at NumCPU workers (each from a
+// fresh Env, so every memo is rebuilt under a different interleaving) must
+// render byte-identically. Run it under -race to also exercise the worker
+// pool, the Env singleflight, and the simulation semaphore for data races.
+func TestRunAllByteIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenario recomputation is not short")
+	}
+	byID := make(map[string]Experiment)
+	for _, exp := range All() {
+		byID[exp.ID] = exp
+	}
+	// The golden corpus plus fig1 — the ISSUE's named sweep — so the gate
+	// covers both the memoized grids and the headline figure.
+	var exps []Experiment
+	for _, id := range append([]string{"fig1"}, goldenExperiments...) {
+		exp, ok := byID[id]
+		if !ok {
+			t.Fatalf("experiment %q is not registered", id)
+		}
+		exps = append(exps, exp)
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		e := NewEnv()
+		e.JobCount = goldenJobCount
+		e.Seed = goldenSeed
+		e.Workers = workers
+		return renderResults(t, RunAll(e, exps, workers))
+	}
+	serial := run(1)
+	parallel := run(max(4, runtime.NumCPU()))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel RunAll diverged from serial:\nserial:   %d bytes\nparallel: %d bytes\n%s",
+			len(serial), len(parallel), firstDiff(serial, parallel))
+	}
+}
+
+// TestRunAllOrderAndErrors pins the contract qossweep depends on: results
+// come back indexed like the input, and one experiment's failure leaves the
+// others' results intact.
+func TestRunAllOrderAndErrors(t *testing.T) {
+	boom := errors.New("boom")
+	mk := func(id string, tables []*table.Table, err error) Experiment {
+		return Experiment{ID: id, Run: func(*Env) ([]*table.Table, error) {
+			return tables, err
+		}}
+	}
+	okTable := []*table.Table{table.New("ok", "col")}
+	exps := []Experiment{
+		mk("first", okTable, nil),
+		mk("failing", nil, boom),
+		mk("last", okTable, nil),
+	}
+	results := RunAll(NewEnv(), exps, 3)
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results, want %d", len(results), len(exps))
+	}
+	for i, res := range results {
+		if res.Exp.ID != exps[i].ID {
+			t.Errorf("result %d is %q, want %q", i, res.Exp.ID, exps[i].ID)
+		}
+	}
+	if results[1].Err != boom {
+		t.Errorf("failing experiment: Err = %v, want %v", results[1].Err, boom)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("sibling experiments inherited an error: %v, %v", results[0].Err, results[2].Err)
+	}
+	if len(results[2].Tables) != 1 {
+		t.Errorf("experiment after the failure lost its tables: %v", results[2].Tables)
+	}
+}
+
+// TestRunAllEmpty pins the edge: no experiments, no goroutines, no panic.
+func TestRunAllEmpty(t *testing.T) {
+	if got := RunAll(NewEnv(), nil, 0); len(got) != 0 {
+		t.Fatalf("RunAll(nil) = %v, want empty", got)
+	}
+}

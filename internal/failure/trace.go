@@ -185,20 +185,70 @@ func (t *Trace) ScanNode(node int, from, to units.Time, fn func(Event) bool) {
 // scheduler's node-scoring query, which a linear walk pays for once per
 // undetectable event in the window.
 func (t *Trace) FirstDetectableOnNode(node int, from, to units.Time, maxDet float64) (Event, bool) {
+	i := t.firstDetectablePos(node, from, to, maxDet)
+	if i < 0 {
+		return Event{}, false
+	}
+	return t.events[i], true
+}
+
+// firstDetectablePos returns the trace index (position in t.events) of the
+// earliest failure of one node with Time in [from, to) and Detectability <=
+// maxDet, or -1. Because events are stable-sorted by time, trace-index order
+// refines time order, so positions compare exactly like (time, insertion)
+// pairs — the property the batched queries below lean on.
+func (t *Trace) firstDetectablePos(node int, from, to units.Time, maxDet float64) int {
 	ix := &t.perNode[node]
 	lo := ix.searchTime(from)
 	if lo == len(ix.times) || ix.times[lo] >= to {
-		return Event{}, false // empty window: the overwhelmingly common case
+		return -1 // empty window: the overwhelmingly common case
 	}
 	if ix.det[lo] <= maxDet {
-		return t.events[ix.pos[lo]], true // first event already detectable
+		return ix.pos[lo] // first event already detectable
 	}
 	hi := lo + searchTimes(ix.times[lo:], to)
 	i := ix.firstLE(lo+1, hi, maxDet)
 	if i < 0 {
+		return -1
+	}
+	return ix.pos[i]
+}
+
+// FirstDetectableOnNodes returns the earliest failure with Time in [from,
+// to) and Detectability <= maxDet across all the given nodes: the batched
+// partition query. One pass over the trace index answers every node through
+// its segment tree and keeps the minimum trace position, which is exactly
+// the event a time-ordered Scan would deliver first (ties at equal times
+// break on trace index in both), without the per-event merge walk or its
+// cursor allocation.
+func (t *Trace) FirstDetectableOnNodes(nodes []int, from, to units.Time, maxDet float64) (Event, bool) {
+	best := -1
+	for _, n := range nodes {
+		if i := t.firstDetectablePos(n, from, to, maxDet); i >= 0 && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	if best < 0 {
 		return Event{}, false
 	}
-	return t.events[ix.pos[i]], true
+	return t.events[best], true
+}
+
+// AppendPFailBatch appends, for each node in nodes, the detectability of
+// its earliest failure with Time in [from, to) and Detectability <= maxDet
+// (0 when the node has none) and returns the extended slice. It is the
+// scheduler's batched scoring query: all candidate nodes answered in one
+// call over the trace index, each through its O(log k) segment-tree
+// descent, instead of one FirstDetectableOnNode interface call per node.
+func (t *Trace) AppendPFailBatch(dst []float64, nodes []int, from, to units.Time, maxDet float64) []float64 {
+	for _, n := range nodes {
+		var px float64
+		if i := t.firstDetectablePos(n, from, to, maxDet); i >= 0 {
+			px = t.events[i].Detectability
+		}
+		dst = append(dst, px)
+	}
+	return dst
 }
 
 // searchTimes returns the first position in times with value >= t.

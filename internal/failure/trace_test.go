@@ -242,3 +242,106 @@ func TestParseCSVNeverPanicsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// batchTestTrace builds a dense small-cluster trace from raw fuzz input with
+// deliberate time collisions (times mod 50) and coarse detectability steps,
+// so batched queries face ties in both dimensions.
+func batchTestTrace(raw []uint16, nodes int) (*Trace, error) {
+	events := make([]Event, 0, len(raw))
+	for i, r := range raw {
+		events = append(events, Event{
+			Time:          units.Time(r % 50),
+			Node:          i % nodes,
+			Detectability: float64(r%5) / 4,
+		})
+	}
+	return NewTrace(nodes, events)
+}
+
+// TestFirstDetectableOnNodesMatchesScanProperty is the differential gate for
+// the batched partition query: on random windows with heavy time ties, the
+// min-trace-position answer must be the exact event a time-ordered Scan
+// delivers first under the same detectability cut.
+func TestFirstDetectableOnNodesMatchesScanProperty(t *testing.T) {
+	f := func(raw []uint16, fromRaw, toRaw uint8, detRaw uint8) bool {
+		const nodes = 6
+		tr, err := batchTestTrace(raw, nodes)
+		if err != nil {
+			return false
+		}
+		from := units.Time(fromRaw % 60)
+		to := from + units.Time(toRaw%60)
+		maxDet := float64(detRaw%6) / 5
+		queried := []int{0, 2, 3, 5}
+
+		var want Event
+		wantOK := false
+		tr.Scan(queried, from, to, func(e Event) bool {
+			if e.Detectability <= maxDet {
+				want, wantOK = e, true
+				return false
+			}
+			return true
+		})
+		got, gotOK := tr.FirstDetectableOnNodes(queried, from, to, maxDet)
+		if gotOK != wantOK {
+			t.Logf("ok mismatch: got %v want %v (from=%v to=%v maxDet=%v)", gotOK, wantOK, from, to, maxDet)
+			return false
+		}
+		return !gotOK || got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendPFailBatchMatchesPerNodeProperty pins the batched scoring query
+// to its serial definition: one AppendPFailBatch call must reproduce, per
+// node and in order, what FirstDetectableOnNode reports for that node alone.
+func TestAppendPFailBatchMatchesPerNodeProperty(t *testing.T) {
+	f := func(raw []uint16, fromRaw, toRaw uint8, detRaw uint8) bool {
+		const nodes = 6
+		tr, err := batchTestTrace(raw, nodes)
+		if err != nil {
+			return false
+		}
+		from := units.Time(fromRaw % 60)
+		to := from + units.Time(toRaw%60)
+		maxDet := float64(detRaw%6) / 5
+		queried := []int{5, 0, 3, 3, 1} // out of order, with a repeat
+
+		got := tr.AppendPFailBatch(nil, queried, from, to, maxDet)
+		if len(got) != len(queried) {
+			return false
+		}
+		for i, n := range queried {
+			var want float64
+			if e, ok := tr.FirstDetectableOnNode(n, from, to, maxDet); ok {
+				want = e.Detectability
+			}
+			if got[i] != want {
+				t.Logf("node %d: got %v want %v (from=%v to=%v maxDet=%v)", n, got[i], want, from, to, maxDet)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendPFailBatchAppends pins the append contract: existing contents
+// stay put and capacity is reused.
+func TestAppendPFailBatchAppends(t *testing.T) {
+	tr := mustTrace(t, 2, []Event{{Time: 10, Node: 1, Detectability: 0.5}})
+	buf := make([]float64, 1, 8)
+	buf[0] = -1
+	got := tr.AppendPFailBatch(buf, []int{0, 1}, 0, 100, 1)
+	if len(got) != 3 || got[0] != -1 || got[1] != 0 || got[2] != 0.5 {
+		t.Fatalf("AppendPFailBatch = %v, want [-1 0 0.5]", got)
+	}
+	if &got[0] != &buf[0] {
+		t.Error("AppendPFailBatch reallocated despite spare capacity")
+	}
+}

@@ -1,0 +1,109 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probqos/internal/failure"
+	"probqos/internal/units"
+)
+
+// TestBatchMatchesPerNodeAllImplementations is the differential gate for the
+// batched scoring path: every BatchNodePredictor in the package must append,
+// node for node, exactly what its own PFailNode returns — and PFailNode must
+// in turn agree with the general PFail on a singleton set. The scheduler
+// leans on the first identity to batch its quote loop; NodePredictor's
+// contract is the second.
+func TestBatchMatchesPerNodeAllImplementations(t *testing.T) {
+	tr := newTestTrace(t, []failure.Event{
+		{Time: 100, Node: 1, Detectability: 0.9},
+		{Time: 150, Node: 1, Detectability: 0.3},
+		{Time: 150, Node: 2, Detectability: 0.3}, // time tie across nodes
+		{Time: 200, Node: 2, Detectability: 0.0},
+		{Time: 250, Node: 4, Detectability: 0.6},
+		{Time: 300, Node: 4, Detectability: 0.6}, // repeat detectability
+	})
+	tp, err := NewTrace(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBaseRate(30 * units.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := NewMax(tp, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecaying(tr, 0.5, 24*units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []struct {
+		name string
+		p    Predictor
+	}{
+		{"Null", Null{}},
+		{"Trace", tp},
+		{"BaseRate", br},
+		{"Max", mx},
+		{"Decaying", dec},
+	}
+	for _, tc := range preds {
+		t.Run(tc.name, func(t *testing.T) {
+			bp, ok := tc.p.(BatchNodePredictor)
+			if !ok {
+				t.Fatalf("%T does not implement BatchNodePredictor", tc.p)
+			}
+			np := tc.p.(NodePredictor)
+			f := func(fromRaw, spanRaw uint16, pick [4]uint8) bool {
+				from := units.Time(fromRaw)
+				to := from + units.Time(spanRaw)
+				nodes := make([]int, len(pick))
+				for i, r := range pick {
+					nodes[i] = int(r) % 16
+				}
+				got := bp.AppendPFailNodes(nil, nodes, from, to)
+				if len(got) != len(nodes) {
+					return false
+				}
+				for i, n := range nodes {
+					single := np.PFailNode(n, from, to)
+					if got[i] != single {
+						t.Logf("node %d in %v [%v,%v): batch %v, PFailNode %v", n, nodes, from, to, got[i], single)
+						return false
+					}
+					if general := tc.p.PFail([]int{n}, from, to); single != general {
+						t.Logf("node %d [%v,%v): PFailNode %v, PFail %v", n, from, to, single, general)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestBatchAppendsToDst pins the append contract shared by every
+// implementation the scheduler might resolve: dst's existing contents are
+// preserved and spare capacity is reused, so a scratch slice truly makes the
+// quote loop allocation-free.
+func TestBatchAppendsToDst(t *testing.T) {
+	tr := newTestTrace(t, []failure.Event{{Time: 100, Node: 1, Detectability: 0.2}})
+	tp, err := NewTrace(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 1, 8)
+	buf[0] = -1
+	got := tp.AppendPFailNodes(buf, []int{0, 1}, 0, 1000)
+	if len(got) != 3 || got[0] != -1 || got[1] != 0 || got[2] != 0.2 {
+		t.Fatalf("AppendPFailNodes = %v, want [-1 0 0.2]", got)
+	}
+	if &got[0] != &buf[0] {
+		t.Error("AppendPFailNodes reallocated despite spare capacity")
+	}
+}

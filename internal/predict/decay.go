@@ -82,6 +82,17 @@ func (p *Decaying) PFailNode(node int, from, to units.Time) float64 {
 	return px
 }
 
+// AppendPFailNodes implements BatchNodePredictor. The decayed threshold
+// rules out a segment-tree descent (there is no fixed detectability
+// cutoff), but the batch still answers every node in one call through the
+// allocation-free per-node walks.
+func (p *Decaying) AppendPFailNodes(dst []float64, nodes []int, from, to units.Time) []float64 {
+	for _, n := range nodes {
+		dst = append(dst, p.PFailNode(n, from, to))
+	}
+	return dst
+}
+
 // FirstDetectable mirrors Trace.FirstDetectable under the decayed rule, so
 // the negotiator can still step past located failures.
 func (p *Decaying) FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool) {

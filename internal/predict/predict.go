@@ -42,6 +42,19 @@ func PFailNode(p Predictor, node int, from, to units.Time) float64 {
 	return p.PFail([]int{node}, from, to)
 }
 
+// BatchNodePredictor is the optional batched scoring path: one call answers
+// the single-node query for every node in the slice, appending one
+// probability per node to dst (in node-slice order) and returning the
+// extended slice. The scheduler scores every free node at every candidate
+// start; answering the whole set in one pass removes a per-node interface
+// call from the hottest loop in the system. Implementations must append
+// exactly what PFailNode would return for each node.
+type BatchNodePredictor interface {
+	// AppendPFailNodes appends PFailNode(node, from, to) for each node to
+	// dst and returns the extended slice.
+	AppendPFailNodes(dst []float64, nodes []int, from, to units.Time) []float64
+}
+
 // Null is the no-forecasting predictor: it always reports zero risk. It is
 // the "system that does not use event prediction" baseline.
 type Null struct{}
@@ -51,6 +64,14 @@ func (Null) PFail([]int, units.Time, units.Time) float64 { return 0 }
 
 // PFailNode always returns 0.
 func (Null) PFailNode(int, units.Time, units.Time) float64 { return 0 }
+
+// AppendPFailNodes appends one zero per node.
+func (Null) AppendPFailNodes(dst []float64, nodes []int, _, _ units.Time) []float64 {
+	for range nodes {
+		dst = append(dst, 0)
+	}
+	return dst
+}
 
 // Trace is the deterministic trace-driven predictor of §4.3. Every failure
 // in the trace carries a static detectability p_x in [0,1]. Queried over a
@@ -80,20 +101,18 @@ func NewTrace(tr *failure.Trace, a float64) (*Trace, error) {
 // Accuracy returns the predictor's accuracy a.
 func (p *Trace) Accuracy() float64 { return p.accuracy }
 
-// PFail implements Predictor.
+// PFail implements Predictor. The multi-node query is answered by the
+// trace's batched segment-tree pass: the earliest detectable event across
+// the partition, without merge-walking the undetectable events a Scan
+// visits (or its per-call cursor allocation).
 func (p *Trace) PFail(nodes []int, from, to units.Time) float64 {
 	if len(nodes) == 1 {
 		return p.PFailNode(nodes[0], from, to)
 	}
-	var px float64
-	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
-		if e.Detectability <= p.accuracy {
-			px = e.Detectability
-			return false
-		}
-		return true
-	})
-	return px
+	if e, ok := p.trace.FirstDetectableOnNodes(nodes, from, to, p.accuracy); ok {
+		return e.Detectability
+	}
+	return 0
 }
 
 // PFailNode implements NodePredictor: "first failure in the window with
@@ -106,22 +125,17 @@ func (p *Trace) PFailNode(node int, from, to units.Time) float64 {
 	return 0
 }
 
+// AppendPFailNodes implements BatchNodePredictor: every node answered in
+// one pass over the trace index.
+func (p *Trace) AppendPFailNodes(dst []float64, nodes []int, from, to units.Time) []float64 {
+	return p.trace.AppendPFailBatch(dst, nodes, from, to, p.accuracy)
+}
+
 // FirstDetectable returns the first failure in the window the predictor can
 // see, if any. The negotiation layer uses it to propose deadlines past the
 // predicted failure.
 func (p *Trace) FirstDetectable(nodes []int, from, to units.Time) (failure.Event, bool) {
-	var (
-		hit   failure.Event
-		found bool
-	)
-	p.trace.Scan(nodes, from, to, func(e failure.Event) bool {
-		if e.Detectability <= p.accuracy {
-			hit, found = e, true
-			return false
-		}
-		return true
-	})
-	return hit, found
+	return p.trace.FirstDetectableOnNodes(nodes, from, to, p.accuracy)
 }
 
 // BaseRate predicts from the exponential (memoryless) hazard implied by a
@@ -165,6 +179,16 @@ func (p *BaseRate) PFailNode(_ int, from, to units.Time) float64 {
 	}
 	w := to.Sub(from).Seconds()
 	return 1 - math.Exp(-w/p.nodeMTBF.Seconds())
+}
+
+// AppendPFailNodes implements BatchNodePredictor: the hazard is the same
+// for every node, so the exponential is evaluated once per batch.
+func (p *BaseRate) AppendPFailNodes(dst []float64, nodes []int, from, to units.Time) []float64 {
+	v := p.PFailNode(0, from, to)
+	for range nodes {
+		dst = append(dst, v)
+	}
+	return dst
 }
 
 // Max combines predictors by taking the largest estimate. Blending the
@@ -221,4 +245,14 @@ func (p *Max) PFailNode(node int, from, to units.Time) float64 {
 		}
 	}
 	return best
+}
+
+// AppendPFailNodes implements BatchNodePredictor: the per-node maximum over
+// the sub-predictors, kept stateless so a shared Max stays safe under
+// concurrent sweep workers.
+func (p *Max) AppendPFailNodes(dst []float64, nodes []int, from, to units.Time) []float64 {
+	for _, n := range nodes {
+		dst = append(dst, p.PFailNode(n, from, to))
+	}
+	return dst
 }

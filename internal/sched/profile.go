@@ -9,7 +9,6 @@ package sched
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 
 	"probqos/internal/units"
@@ -44,11 +43,47 @@ func (p *profile) insert(node int, iv interval) {
 		return
 	}
 	list := p.nodes[node]
-	i := sort.Search(len(list), func(k int) bool { return list[k].start > iv.start })
+	i := searchStartAfter(list, iv.start)
 	list = append(list, interval{})
 	copy(list[i+1:], list[i:])
 	list[i] = iv
 	p.nodes[node] = list
+}
+
+// searchStartAfter returns the first position whose interval starts strictly
+// after t. Manual binary search: the closure-based sort.Search shows up in
+// profiles on the candidate walk, where these lookups run once per node per
+// examined start.
+func searchStartAfter(list []interval, t units.Time) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].start <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchEndAfter returns the first position whose interval ends strictly
+// after t. Interval ends are not sorted (an outage inserted under a long
+// reservation can end before it), but every position before the returned
+// one ends at or before t only when ends are nondecreasing — which holds
+// for the job intervals the scheduler places (they never overlap) and is
+// conservative for outages: see freeDuring.
+func searchEndAfter(list []interval, t units.Time) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // freeDuring reports whether the node has no busy interval overlapping
@@ -57,7 +92,7 @@ func (p *profile) freeDuring(node int, from, to units.Time) bool {
 	list := p.nodes[node]
 	// First interval with end > from is the only one that could overlap
 	// first; walk forward while intervals start before to.
-	i := sort.Search(len(list), func(k int) bool { return list[k].end > from })
+	i := searchEndAfter(list, from)
 	for ; i < len(list); i++ {
 		if list[i].start >= to {
 			return true
@@ -75,7 +110,7 @@ func (p *profile) freeDuring(node int, from, to units.Time) bool {
 func (p *profile) busyUntil(node int, at units.Time) units.Time {
 	list := p.nodes[node]
 	t := at
-	i := sort.Search(len(list), func(k int) bool { return list[k].end > t })
+	i := searchEndAfter(list, t)
 	for ; i < len(list); i++ {
 		if list[i].start > t {
 			break
@@ -148,23 +183,157 @@ func (p *profile) gc(now units.Time) {
 	}
 }
 
-// appendCandidateTimes appends to buf the sorted, de-duplicated set of
-// instants at or after from at which node availability can change: from
-// itself plus every interval end after from. A feasible start for any
-// request always lies in this set. Collecting into the caller's buffer and
-// de-duplicating in place keeps the per-walk cost at one sort with no map
-// and (after warm-up) no allocation.
-func (p *profile) appendCandidateTimes(buf []units.Time, from units.Time) []units.Time {
-	buf = append(buf, from)
-	for _, list := range p.nodes {
+// candidateTimes lazily enumerates, in ascending de-duplicated order, the
+// instants after from at which node availability can change: every profile
+// interval end strictly after from. A feasible start for any request always
+// lies in {from} ∪ this set.
+//
+// Most candidate walks stop after one or two starts, so the iterator does no
+// up-front work at all: each of the first few pops is a direct min-scan over
+// the profile (one sequential O(E) pass). A walk that keeps going past
+// ctScanCutoff pops switches to a binary min-heap built in one pass, which
+// bounds a long walk at O(E + k·log E) where the old eager path paid a full
+// O(E·log E) sort every walk. The heap buffer is reused across walks, so a
+// warm walk allocates nothing.
+type candidateTimes struct {
+	p      *profile
+	from   units.Time
+	last   units.Time // most recent value returned, for de-duplication
+	some   bool       // whether any value has been returned yet
+	max    units.Time // largest end in the profile; from when there are none
+	scans  int        // direct min-scans done since collect
+	inHeap bool       // the walk graduated to the heap
+	heap   []units.Time
+}
+
+// ctScanCutoff is how many direct min-scans a walk gets before the iterator
+// builds the heap. Scans beat the heap while the walk is short; past a few
+// pops the one-time heapify amortizes better.
+const ctScanCutoff = 4
+
+// collectCandidateTimes points ct at the profile for a walk starting at
+// from. All real work is deferred to next; a walk whose first candidate is
+// accepted never pays anything.
+func (p *profile) collectCandidateTimes(ct *candidateTimes, from units.Time) {
+	ct.p = p
+	ct.from = from
+	ct.some = false
+	ct.max = from
+	ct.scans = 0
+	ct.inHeap = false
+	ct.heap = ct.heap[:0]
+}
+
+// next returns the smallest not-yet-returned instant, skipping duplicates.
+// The second return is false when the set is exhausted.
+func (ct *candidateTimes) next() (units.Time, bool) {
+	if ct.inHeap {
+		return ct.popHeap()
+	}
+	if ct.scans >= ctScanCutoff {
+		ct.buildHeap()
+		return ct.popHeap()
+	}
+	threshold := ct.from
+	if ct.some {
+		threshold = ct.last
+	}
+	first := ct.scans == 0
+	ct.scans++
+	var best units.Time
+	found := false
+	for _, list := range ct.p.nodes {
 		for _, iv := range list {
-			if iv.end > from {
-				buf = append(buf, iv.end)
+			if iv.end > threshold && (!found || iv.end < best) {
+				best = iv.end
+				found = true
+			}
+			if first && iv.end > ct.max {
+				ct.max = iv.end
 			}
 		}
 	}
-	slices.Sort(buf)
-	return slices.Compact(buf)
+	if !found {
+		return 0, false
+	}
+	ct.some, ct.last = true, best
+	return best, true
+}
+
+// buildHeap loads every end beyond the walk's position into a min-heap in
+// one pass, for walks long enough that repeated scans would lose.
+func (ct *candidateTimes) buildHeap() {
+	threshold := ct.from
+	if ct.some {
+		threshold = ct.last
+	}
+	h := ct.heap[:0]
+	for _, list := range ct.p.nodes {
+		for _, iv := range list {
+			if iv.end > threshold {
+				h = append(h, iv.end)
+			}
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		timeSiftDown(h, i)
+	}
+	ct.heap = h
+	ct.inHeap = true
+}
+
+// popHeap pops the smallest remaining instant off the heap, skipping
+// duplicates.
+func (ct *candidateTimes) popHeap() (units.Time, bool) {
+	for len(ct.heap) > 0 {
+		t := ct.heap[0]
+		n := len(ct.heap) - 1
+		ct.heap[0] = ct.heap[n]
+		ct.heap = ct.heap[:n]
+		if n > 0 {
+			timeSiftDown(ct.heap, 0)
+		}
+		if ct.some && t == ct.last {
+			continue
+		}
+		ct.some, ct.last = true, t
+		return t, true
+	}
+	return 0, false
+}
+
+// timeSiftDown restores the min-heap property below index i.
+func timeSiftDown(h []units.Time, i int) {
+	for {
+		smallest := i
+		if l := 2*i + 1; l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// appendCandidateTimes drains a full walk into buf: from itself plus every
+// de-duplicated end after from, ascending. Tests use it to pin the sequence
+// the lazy iterator yields; the scheduler consumes candidateTimes directly.
+func (p *profile) appendCandidateTimes(buf []units.Time, from units.Time) []units.Time {
+	buf = append(buf, from)
+	var ct candidateTimes
+	p.collectCandidateTimes(&ct, from)
+	for {
+		t, ok := ct.next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, t)
+	}
 }
 
 // validate is a debugging aid: it returns an error if any node's job-owned

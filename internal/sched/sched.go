@@ -67,7 +67,8 @@ type Scheduler struct {
 	n             int
 	profile       *profile
 	predictor     predict.Predictor
-	nodePred      predict.NodePredictor // predictor's single-node fast path, nil without one
+	nodePred      predict.NodePredictor      // predictor's single-node fast path, nil without one
+	batchPred     predict.BatchNodePredictor // predictor's batched scoring path, nil without one
 	reservations  map[int]*Reservation
 	faultAware    bool
 	maxCandidates int
@@ -79,8 +80,17 @@ type Scheduler struct {
 	// visits up to maxCandidates starts and scores every free node at each.
 	freeScratch   []int
 	scoredScratch []scoredNode
-	timesScratch  []units.Time
+	riskScratch   []float64
+	timesScratch  candidateTimes
 	singleton     [1]int
+
+	// resFree recycles Reservation records (and their node slices) released
+	// by Release/CompleteEarly. Reservations churn once per admit and once
+	// per failure restart, so without recycling they are the simulator's
+	// largest allocation source. A recycled record is only handed out again
+	// after its owner released it, by which point the engine no longer reads
+	// the old node set.
+	resFree []*Reservation
 }
 
 // scoredNode pairs a node with its predicted window risk during selection.
@@ -108,6 +118,9 @@ func New(n int, p predict.Predictor, opts ...Option) *Scheduler {
 	}
 	if np, ok := p.(predict.NodePredictor); ok {
 		s.nodePred = np
+	}
+	if bp, ok := p.(predict.BatchNodePredictor); ok {
+		s.batchPred = bp
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -160,11 +173,12 @@ func (s *Scheduler) Candidates(from units.Time, size int, duration units.Duratio
 		return yielded
 	}
 	examined := 1
-	times := s.profile.appendCandidateTimes(s.timesScratch[:0], from)
-	s.timesScratch = times
-	for _, t := range times {
-		if t == from {
-			continue
+	ct := &s.timesScratch
+	s.profile.collectCandidateTimes(ct, from)
+	for {
+		t, ok := ct.next()
+		if !ok {
+			break
 		}
 		if examined >= s.maxCandidates {
 			break
@@ -177,10 +191,8 @@ func (s *Scheduler) Candidates(from units.Time, size int, duration units.Duratio
 	// Fallback when the candidate budget ran out: after the last known busy
 	// interval the whole machine is free, so that instant is always
 	// feasible. (If the loop visited every time, this was already covered.)
-	if examined >= s.maxCandidates && len(times) > 0 {
-		if horizon := times[len(times)-1]; horizon > from {
-			emit(horizon)
-		}
+	if examined >= s.maxCandidates && ct.max > from {
+		emit(ct.max)
 	}
 	return yielded
 }
@@ -220,13 +232,27 @@ func (s *Scheduler) pickNodes(start units.Time, size int, duration units.Duratio
 	if !s.faultAware {
 		return append([]int(nil), free[:size]...)
 	}
+	// Batched scoring: one predictor call prices every free node over the
+	// window (one pass over the trace index) instead of one interface call
+	// per node. The fallback keeps the per-node fast path.
+	var risks []float64
+	if s.batchPred != nil {
+		risks = s.batchPred.AppendPFailNodes(s.riskScratch[:0], free, riskFrom, end)
+		s.riskScratch = risks
+	}
 	// Partial selection: only the size lowest-risk nodes are wanted, so a
 	// bounded max-heap (O(free · log size)) replaces sorting every free
 	// node. (risk, node) is a total order, so the selected set — and hence
 	// the returned candidate — is identical to what the full sort chose.
 	heap := s.scoredScratch[:0]
-	for _, n := range free {
-		cand := scoredNode{node: n, risk: s.pfailNode(n, riskFrom, end)}
+	for i, n := range free {
+		var risk float64
+		if risks != nil {
+			risk = risks[i]
+		} else {
+			risk = s.pfailNode(n, riskFrom, end)
+		}
+		cand := scoredNode{node: n, risk: risk}
 		if len(heap) < size {
 			heap = append(heap, cand)
 			heapSiftUp(heap, len(heap)-1)
@@ -299,18 +325,28 @@ func (s *Scheduler) Reserve(jobID int, c Candidate, duration units.Duration) (*R
 			return nil, fmt.Errorf("sched: node %d is no longer free at %v for job %d", n, c.Start, jobID)
 		}
 	}
-	r := &Reservation{
-		JobID:    jobID,
-		Start:    c.Start,
-		Duration: duration,
-		Nodes:    append([]int(nil), c.Nodes...),
-		PFail:    c.PFail,
-	}
+	r := s.getReservation()
+	r.JobID = jobID
+	r.Start = c.Start
+	r.Duration = duration
+	r.Nodes = append(r.Nodes[:0], c.Nodes...)
+	r.PFail = c.PFail
 	for _, n := range r.Nodes {
 		s.profile.insert(n, interval{start: r.Start, end: r.End(), owner: jobID})
 	}
 	s.reservations[jobID] = r
 	return r, nil
+}
+
+// getReservation hands out a recycled Reservation (node slice capacity and
+// all) or a fresh one. Callers must overwrite every field.
+func (s *Scheduler) getReservation() *Reservation {
+	if n := len(s.resFree); n > 0 {
+		r := s.resFree[n-1]
+		s.resFree = s.resFree[:n-1]
+		return r
+	}
+	return &Reservation{}
 }
 
 // ForceReserve reserves the given nodes for a job without checking that
@@ -323,12 +359,12 @@ func (s *Scheduler) ForceReserve(jobID int, nodes []int, start units.Time, durat
 	if _, ok := s.reservations[jobID]; ok {
 		return nil, fmt.Errorf("sched: job %d already holds a reservation", jobID)
 	}
-	r := &Reservation{
-		JobID:    jobID,
-		Start:    start,
-		Duration: duration,
-		Nodes:    append([]int(nil), nodes...),
-	}
+	r := s.getReservation()
+	r.JobID = jobID
+	r.Start = start
+	r.Duration = duration
+	r.Nodes = append(r.Nodes[:0], nodes...)
+	r.PFail = 0
 	for _, n := range r.Nodes {
 		s.profile.insert(n, interval{start: r.Start, end: r.End(), owner: jobID})
 	}
@@ -355,6 +391,7 @@ func (s *Scheduler) Release(jobID int) {
 		s.profile.removeOwner(n, jobID)
 	}
 	delete(s.reservations, jobID)
+	s.resFree = append(s.resFree, r)
 }
 
 // CompleteEarly truncates the job's reservation at the actual completion
@@ -369,6 +406,7 @@ func (s *Scheduler) CompleteEarly(jobID int, at units.Time) {
 		s.profile.truncateOwner(n, jobID, at)
 	}
 	delete(s.reservations, jobID)
+	s.resFree = append(s.resFree, r)
 }
 
 // Slip moves the job's reservation to a later start (its nodes were down at

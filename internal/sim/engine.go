@@ -82,7 +82,7 @@ func (s *Engine) Admit(job workload.Job, q negotiate.Quote, offers int) error {
 	s.queueDepth++
 	s.promiseSum += q.Success
 	s.promisedJobs++
-	s.push(&event{time: q.Candidate.Start, kind: KindStart, jobID: job.ID, epoch: js.epoch})
+	s.push(event{time: q.Candidate.Start, kind: KindStart, jobID: job.ID, epoch: js.epoch})
 	s.observe(KindArrival, job.ID, -1,
 		"deadline="+q.Deadline.String()+" p="+strconv.FormatFloat(q.Success, 'f', 3, 64))
 	jc, qc := job, q
@@ -102,7 +102,7 @@ func (s *Engine) InjectFailure(node int, at units.Time) error {
 	if at < s.now {
 		return fmt.Errorf("sim: cannot inject a failure at %v, clock is at %v", at, s.now)
 	}
-	s.push(&event{time: at, kind: KindFailure, node: node})
+	s.push(event{time: at, kind: KindFailure, node: node})
 	s.record(Op{Kind: OpFault, Node: node, At: at})
 	return nil
 }

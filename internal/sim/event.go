@@ -53,6 +53,53 @@ type event struct {
 	index int   // failure events: index into the trace
 }
 
+// arenaChunk is how many events an arena allocates at once. A chunk is one
+// backing array, so the steady-state cost of a simulation run is a handful of
+// chunk allocations instead of one per event.
+const arenaChunk = 256
+
+// eventArena recycles event records. The engine allocates one event per
+// queue push — the largest allocation count in a run after reservations —
+// and never retains an event past its dispatch, so step can return each
+// popped event to the free list. Chunks keep the backing arrays alive while
+// the free list is rebuilt between pooled runs.
+type eventArena struct {
+	free   []*event
+	chunks [][]event
+}
+
+// get returns a zeroed event, growing the arena by one chunk when the free
+// list is empty.
+func (a *eventArena) get() *event {
+	if n := len(a.free); n > 0 {
+		ev := a.free[n-1]
+		a.free = a.free[:n-1]
+		*ev = event{}
+		return ev
+	}
+	chunk := make([]event, arenaChunk)
+	a.chunks = append(a.chunks, chunk)
+	for i := 1; i < len(chunk); i++ {
+		a.free = append(a.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// put returns a dispatched event to the free list. The caller must not
+// touch it afterwards.
+func (a *eventArena) put(ev *event) { a.free = append(a.free, ev) }
+
+// reset rebuilds the free list from the chunks. Only call when no event from
+// this arena is still queued — i.e. after a drained run, before reuse.
+func (a *eventArena) reset() {
+	a.free = a.free[:0]
+	for _, c := range a.chunks {
+		for i := range c {
+			a.free = append(a.free, &c[i])
+		}
+	}
+}
+
 // eventQueue is a deterministic min-heap over (time, kind, seq).
 type eventQueue []*event
 

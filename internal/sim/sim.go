@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"probqos/internal/checkpoint"
@@ -86,6 +87,7 @@ type Engine struct {
 	user       negotiate.User
 
 	queue      eventQueue
+	arena      *eventArena
 	seq        int64
 	now        units.Time
 	dispatched int // events dispatched, for periodic profile GC
@@ -114,6 +116,12 @@ type Engine struct {
 	promisedJobs int
 }
 
+// arenaPool recycles event arenas across Run calls. A sweep executes
+// thousands of runs (often concurrently); reusing the chunk arrays keeps the
+// per-run event cost at a free-list rebuild instead of re-allocating every
+// chunk. Pool reuse never reaches simulation state, so determinism holds.
+var arenaPool = sync.Pool{New: func() any { return &eventArena{} }}
+
 // Run executes the configured simulation to completion and returns the
 // collected result. The run is deterministic: equal configs yield equal
 // results.
@@ -121,14 +129,25 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := NewEngine(cfg)
+	arena := arenaPool.Get().(*eventArena)
+	arena.reset()
+	s, err := newEngineWithArena(cfg, arena)
 	if err != nil {
+		arenaPool.Put(arena)
 		return nil, err
 	}
 	if err := s.Drain(); err != nil {
+		// Events may still be queued; let this arena go instead of pooling it.
 		return nil, err
 	}
-	return s.collect()
+	res, err := s.collect()
+	if err != nil {
+		return nil, err
+	}
+	// The queue drained, so every arena event is back on the free list and
+	// the result holds no reference into it.
+	arenaPool.Put(arena)
+	return res, nil
 }
 
 // NewEngine builds the state machine for cfg without running it: the
@@ -136,6 +155,13 @@ func Run(cfg Config) (*Result, error) {
 // clock sits at zero. Unlike Run, a nil or empty Workload is accepted —
 // the online service admits jobs one at a time instead of replaying a log.
 func NewEngine(cfg Config) (*Engine, error) {
+	return newEngineWithArena(cfg, &eventArena{})
+}
+
+// newEngineWithArena is NewEngine with a caller-supplied event arena. Run
+// passes a pooled arena it reclaims after the drain; long-lived service
+// engines keep a private one for their whole life.
+func newEngineWithArena(cfg Config, arena *eventArena) (*Engine, error) {
 	if err := cfg.validate(false); err != nil {
 		return nil, err
 	}
@@ -177,6 +203,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cluster:   cluster.New(cfg.Nodes),
 		quotePred: pred,
 		ckptPred:  pred,
+		arena:     arena,
+		queue:     make(eventQueue, 0, jobCount+cfg.Failures.Len()),
 		jobs:      make(map[int]*jobState, jobCount),
 		probe:     cfg.Probe,
 	}
@@ -204,26 +232,35 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 
 	if cfg.Workload != nil {
-		for _, j := range cfg.Workload.Jobs {
+		// One slab for every job state: the map's values all point into it,
+		// replacing a per-job allocation. Jobs admitted later (online
+		// service) still allocate individually.
+		states := make([]jobState, len(cfg.Workload.Jobs))
+		for i, j := range cfg.Workload.Jobs {
 			if _, dup := s.jobs[j.ID]; dup {
 				return nil, fmt.Errorf("sim: duplicate job ID %d in workload", j.ID)
 			}
-			s.jobs[j.ID] = &jobState{job: j}
-			s.push(&event{time: j.Arrival, kind: KindArrival, jobID: j.ID})
+			states[i].job = j
+			s.jobs[j.ID] = &states[i]
+			s.push(event{time: j.Arrival, kind: KindArrival, jobID: j.ID})
 		}
 	}
 	for i := 0; i < cfg.Failures.Len(); i++ {
 		e := cfg.Failures.At(i)
-		s.push(&event{time: e.Time, kind: KindFailure, node: e.Node, index: i})
+		s.push(event{time: e.Time, kind: KindFailure, node: e.Node, index: i})
 	}
 	heap.Init(&s.queue)
 	return s, nil
 }
 
-func (s *Engine) push(ev *event) {
-	ev.seq = s.seq
+// push enqueues the event, stamping its insertion order. The queued record
+// comes from the engine's arena; step returns it there after dispatch.
+func (s *Engine) push(ev event) {
+	p := s.arena.get()
+	*p = ev
+	p.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
+	heap.Push(&s.queue, p)
 }
 
 func (s *Engine) observe(kind Kind, jobID, node int, detail string) {
@@ -260,7 +297,7 @@ func (s *Engine) step() error {
 	s.now = ev.time
 	s.res.EventsProcessed++
 	s.dispatched++
-	if s.dispatched%4096 == 0 {
+	if s.dispatched%512 == 0 {
 		s.scheduler.GC(s.now)
 	}
 
@@ -287,6 +324,9 @@ func (s *Engine) step() error {
 	if err != nil {
 		return err
 	}
+	// No handler retains the event past its dispatch, so it can go straight
+	// back to the arena.
+	s.arena.put(ev)
 	if s.probe != nil {
 		//qoslint:allow detwallclock profiling boundary; feeds obs phase timings, never simulation state
 		s.probe.Phase(PhaseDispatch, time.Since(t0))
@@ -328,9 +368,11 @@ func (s *Engine) onArrival(ev *event) error {
 	s.queueDepth++
 	s.promiseSum += quote.Success
 	s.promisedJobs++
-	s.push(&event{time: quote.Candidate.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
-	s.observe(KindArrival, js.job.ID, -1,
-		"deadline="+quote.Deadline.String()+" p="+strconv.FormatFloat(quote.Success, 'f', 3, 64))
+	s.push(event{time: quote.Candidate.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+	if s.cfg.Observer != nil {
+		s.observe(KindArrival, js.job.ID, -1,
+			"deadline="+quote.Deadline.String()+" p="+strconv.FormatFloat(quote.Success, 'f', 3, 64))
+	}
 	return nil
 }
 
@@ -364,8 +406,10 @@ func (s *Engine) onStart(ev *event) error {
 		}
 		js.rec.StartSlips++
 		s.decide(DecisionStartSlip, js.job.ID, 1)
-		s.push(&event{time: retry, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
-		s.observe(KindStart, js.job.ID, -1, "slip to "+retry.String())
+		s.push(event{time: retry, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+		if s.cfg.Observer != nil {
+			s.observe(KindStart, js.job.ID, -1, "slip to "+retry.String())
+		}
 		return nil
 	}
 
@@ -415,10 +459,10 @@ func (s *Engine) estimateFinish(js *jobState) units.Time {
 func (s *Engine) scheduleNextWork(js *jobState) {
 	rem := js.remaining()
 	if rem <= s.cfg.Checkpoint.Interval {
-		s.push(&event{time: s.now.Add(rem), kind: KindFinish, jobID: js.job.ID, epoch: js.epoch})
+		s.push(event{time: s.now.Add(rem), kind: KindFinish, jobID: js.job.ID, epoch: js.epoch})
 		return
 	}
-	s.push(&event{
+	s.push(event{
 		time: s.now.Add(s.cfg.Checkpoint.Interval), kind: KindCheckpointRequest,
 		jobID: js.job.ID, epoch: js.epoch,
 	})
@@ -458,14 +502,18 @@ func (s *Engine) onCheckpointRequest(ev *event) error {
 		s.decide(DecisionCheckpointGrant, js.job.ID, 1)
 		js.inCheckpoint = true
 		js.ckptStarted = s.now
-		s.push(&event{time: s.now.Add(p.Overhead), kind: KindCheckpointFinish, jobID: js.job.ID, epoch: js.epoch})
-		s.observe(KindCheckpointRequest, js.job.ID, -1, "perform d="+strconv.Itoa(req.AtRiskIntervals))
+		s.push(event{time: s.now.Add(p.Overhead), kind: KindCheckpointFinish, jobID: js.job.ID, epoch: js.epoch})
+		if s.cfg.Observer != nil {
+			s.observe(KindCheckpointRequest, js.job.ID, -1, "perform d="+strconv.Itoa(req.AtRiskIntervals))
+		}
 		return nil
 	}
 	s.decide(DecisionCheckpointSkip, js.job.ID, 1)
 	js.rec.CheckpointsSkipped++
 	js.skippedSince++
-	s.observe(KindCheckpointRequest, js.job.ID, -1, "skip d="+strconv.Itoa(req.AtRiskIntervals))
+	if s.cfg.Observer != nil {
+		s.observe(KindCheckpointRequest, js.job.ID, -1, "skip d="+strconv.Itoa(req.AtRiskIntervals))
+	}
 	s.scheduleNextWork(js)
 	return nil
 }
@@ -509,7 +557,9 @@ func (s *Engine) onFinish(ev *event) error {
 	s.accountOccupancy(-len(js.nodes))
 	s.runningJobs--
 	s.scheduler.CompleteEarly(js.job.ID, s.now)
-	s.observeWidth(KindFinish, js.job.ID, -1, len(js.nodes), "met="+strconv.FormatBool(js.rec.MetDeadline))
+	if s.cfg.Observer != nil {
+		s.observeWidth(KindFinish, js.job.ID, -1, len(js.nodes), "met="+strconv.FormatBool(js.rec.MetDeadline))
+	}
 	return nil
 }
 
@@ -517,7 +567,7 @@ func (s *Engine) onFailure(ev *event) error {
 	node := ev.node
 	s.cluster.Fail(node, s.now, s.cfg.Downtime)
 	s.scheduler.AddDowntime(node, s.now, s.now.Add(s.cfg.Downtime))
-	s.push(&event{time: s.now.Add(s.cfg.Downtime), kind: KindRecovery, node: node})
+	s.push(event{time: s.now.Add(s.cfg.Downtime), kind: KindRecovery, node: node})
 
 	frec := FailureRecord{Time: s.now, Node: node}
 	if occ := s.cluster.Occupant(node); occ != cluster.NoJob {
@@ -547,11 +597,13 @@ func (s *Engine) onFailure(ev *event) error {
 		s.decide(DecisionFailureIdle, 0, 1)
 	}
 	s.res.Failures = append(s.res.Failures, frec)
-	width := 0
-	if frec.JobID != 0 {
-		width = s.jobs[frec.JobID].job.Nodes
+	if s.cfg.Observer != nil {
+		width := 0
+		if frec.JobID != 0 {
+			width = s.jobs[frec.JobID].job.Nodes
+		}
+		s.observeWidth(KindFailure, frec.JobID, node, width, "lost="+strconv.FormatInt(int64(frec.LostWork), 10))
 	}
-	s.observeWidth(KindFailure, frec.JobID, node, width, "lost="+strconv.FormatInt(int64(frec.LostWork), 10))
 	return nil
 }
 
@@ -576,7 +628,7 @@ func (s *Engine) requeue(js *jobState) error {
 		return fmt.Errorf("sim: job %d: %w", js.job.ID, err)
 	}
 	s.decide(DecisionBackfill, js.job.ID, 1)
-	s.push(&event{time: c.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
+	s.push(event{time: c.Start, kind: KindStart, jobID: js.job.ID, epoch: js.epoch})
 	return nil
 }
 

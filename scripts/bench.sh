@@ -20,15 +20,20 @@ cd "$(dirname "$0")/.."
 smoke=0
 label="after"
 out="BENCH_sweep.json"
+usage() {
+    echo "usage: scripts/bench.sh [-smoke] [-label name] [-out file]" >&2
+    exit 2
+}
+
 while [ $# -gt 0 ]; do
     case "$1" in
     -smoke) smoke=1 ;;
-    -label) label="$2"; shift ;;
-    -out) out="$2"; shift ;;
-    *)
-        echo "usage: scripts/bench.sh [-smoke] [-label name] [-out file]" >&2
-        exit 2
-        ;;
+    # Guard $# before shifting into the value: under set -u a trailing
+    # "-label" would otherwise die on the unbound $2 instead of printing
+    # the usage line.
+    -label) [ $# -ge 2 ] || usage; label="$2"; shift ;;
+    -out) [ $# -ge 2 ] || usage; out="$2"; shift ;;
+    *) usage ;;
     esac
     shift
 done

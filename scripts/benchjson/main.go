@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -118,8 +119,24 @@ func load(path string) (trajectory, error) {
 		return traj, fmt.Errorf("%s: schema %q, want %q", path, traj.Schema, schemaID)
 	}
 	traj.Go = runtime.Version()
+	// Migrate runs recorded before values were rounded: averaging three
+	// samples in binary floating point left artifacts like
+	// 125.40000000000002 ns/op in the trajectory.
+	for i := range traj.Runs {
+		for j := range traj.Runs[i].Benchmarks {
+			b := &traj.Runs[i].Benchmarks[j]
+			b.NsPerOp = round3(b.NsPerOp)
+			b.BytesPerOp = round3(b.BytesPerOp)
+			b.AllocsPerOp = round3(b.AllocsPerOp)
+		}
+	}
 	return traj, nil
 }
+
+// round3 rounds to three decimal places: well past benchmark noise, and
+// stable enough that trajectory diffs show real movement instead of
+// float-average artifacts.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 // parse folds benchfmt text into one run: config lines and benchmark result
 // lines are kept verbatim, and samples of the same benchmark are averaged.
@@ -179,9 +196,9 @@ func parse(f *os.File) (run, error) {
 	for _, name := range order {
 		b := agg[name]
 		n := float64(b.Samples)
-		b.NsPerOp /= n
-		b.BytesPerOp /= n
-		b.AllocsPerOp /= n
+		b.NsPerOp = round3(b.NsPerOp / n)
+		b.BytesPerOp = round3(b.BytesPerOp / n)
+		b.AllocsPerOp = round3(b.AllocsPerOp / n)
 		r.Benchmarks = append(r.Benchmarks, *b)
 	}
 	return r, nil
