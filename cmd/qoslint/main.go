@@ -80,7 +80,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "qoslint: %v\n", err)
 		return 2
 	}
-	findings, err := lint.Run(pkgs, analyzers, lint.Names())
+	// The Program holds every loaded package — targets plus the module
+	// dependencies type-checking pulled in — so the interprocedural
+	// analyzers (dettaint) can chase calls across package boundaries even
+	// when only a subtree was requested.
+	prog := lint.NewProgram(loader.Packages(), lint.Names())
+	findings, err := lint.RunProgram(prog, pkgs, analyzers, lint.Names())
 	if err != nil {
 		fmt.Fprintf(stderr, "qoslint: %v\n", err)
 		return 2

@@ -71,12 +71,24 @@ func TestRunEnableSelectsOnlyNamed(t *testing.T) {
 }
 
 func TestRunRejectsUnknownAnalyzer(t *testing.T) {
-	var out, errOut strings.Builder
-	if code := run([]string{"-enable", "nosuch", fixture}, &out, &errOut); code != 2 {
-		t.Fatalf("exit code %d, want 2", code)
-	}
-	if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
-		t.Errorf("stderr lacks unknown-analyzer diagnostic: %s", errOut.String())
+	for _, flag := range []string{"-enable", "-disable"} {
+		t.Run(flag, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run([]string{flag, "nosuch", fixture}, &out, &errOut); code != 2 {
+				t.Fatalf("exit code %d, want 2", code)
+			}
+			msg := errOut.String()
+			if !strings.Contains(msg, `unknown analyzer "nosuch"`) {
+				t.Errorf("stderr lacks unknown-analyzer diagnostic: %s", msg)
+			}
+			// The diagnostic must list every valid name so the misspelling
+			// is correctable without reading the source.
+			for _, a := range lint.All() {
+				if !strings.Contains(msg, a.Name) {
+					t.Errorf("diagnostic omits valid analyzer %q: %s", a.Name, msg)
+				}
+			}
+		})
 	}
 }
 

@@ -18,6 +18,10 @@ func All() []*Analyzer {
 		SyncErr,
 		MapRange,
 		ObsImport,
+		DetTaint,
+		LockHeld,
+		PoolEscape,
+		WalSwitch,
 	}
 }
 

@@ -1,0 +1,333 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reach returns the set of block indices reachable from the entry.
+func reach(g *Graph) map[int]bool {
+	seen := make(map[int]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// pathExists reports whether a node satisfying from can reach a node
+// satisfying to along graph edges (from and to may sit in the same block if
+// from precedes to).
+func pathExists(g *Graph, from, to func(ast.Node) bool) bool {
+	// Blocks where `from` fires, and the node index after which flow leaves.
+	type start struct {
+		b   *Block
+		idx int
+	}
+	var starts []start
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if from(n) {
+				starts = append(starts, start{b, i})
+			}
+		}
+	}
+	hits := func(b *Block, fromIdx int) bool {
+		for _, n := range b.Nodes[fromIdx:] {
+			if to(n) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range starts {
+		if hits(s.b, s.idx+1) {
+			return true
+		}
+		seen := map[int]bool{}
+		var walk func(b *Block) bool
+		walk = func(b *Block) bool {
+			if seen[b.Index] {
+				return false
+			}
+			seen[b.Index] = true
+			if hits(b, 0) {
+				return true
+			}
+			for _, nb := range b.Succs {
+				if walk(nb) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, nb := range s.b.Succs {
+			if walk(nb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "a()\nb()\nc()")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3:\n%s", len(g.Entry.Nodes), g)
+	}
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c:\n%s", g)
+	}
+	if pathExists(g, isCall("c"), isCall("a")) {
+		t.Errorf("c must not reach a:\n%s", g)
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	g := build(t, "a()\nif x {\n b()\n} else {\n c()\n}\nd()")
+	for _, want := range []struct{ from, to string }{
+		{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}, {"a", "d"},
+	} {
+		if !pathExists(g, isCall(want.from), isCall(want.to)) {
+			t.Errorf("%s should reach %s:\n%s", want.from, want.to, g)
+		}
+	}
+	if pathExists(g, isCall("b"), isCall("c")) {
+		t.Errorf("b must not reach c (exclusive branches):\n%s", g)
+	}
+}
+
+func TestIfWithoutElseSkips(t *testing.T) {
+	g := build(t, "if x {\n b()\n}\nd()")
+	if !pathExists(g, isCall("b"), isCall("d")) {
+		t.Errorf("b should reach d:\n%s", g)
+	}
+	// d must be reachable from entry without passing b: the false edge.
+	foundDirect := false
+	for _, s := range g.Entry.Succs {
+		seen := map[int]bool{}
+		var walk func(b *Block) bool
+		walk = func(b *Block) bool {
+			if seen[b.Index] {
+				return false
+			}
+			seen[b.Index] = true
+			for _, n := range b.Nodes {
+				if isCall("b")(n) {
+					return false // this path passes b
+				}
+				if isCall("d")(n) {
+					return true
+				}
+			}
+			for _, nb := range b.Succs {
+				if walk(nb) {
+					return true
+				}
+			}
+			return false
+		}
+		if walk(s) {
+			foundDirect = true
+		}
+	}
+	if !foundDirect {
+		t.Errorf("no b-free path from entry to d:\n%s", g)
+	}
+}
+
+func TestReturnStopsFlow(t *testing.T) {
+	g := build(t, "a()\nreturn\nb()")
+	if pathExists(g, isCall("a"), isCall("b")) {
+		t.Errorf("a must not reach b past a return:\n%s", g)
+	}
+	r := reach(g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if isCall("b")(n) && r[b.Index] {
+				t.Errorf("b's block %d is reachable:\n%s", b.Index, g)
+			}
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "for i := 0; i < n; i++ {\n a()\n b()\n}\nc()")
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c:\n%s", g)
+	}
+	// The back edge: b reaches a on the next iteration.
+	if !pathExists(g, isCall("b"), isCall("a")) {
+		t.Errorf("b should reach a via the back edge:\n%s", g)
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := build(t, "for {\n if x {\n  break\n }\n if y {\n  continue\n }\n a()\n}\nc()")
+	if !pathExists(g, isCall("a"), isCall("a")) {
+		t.Errorf("loop body should reach itself:\n%s", g)
+	}
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c via break on a later iteration:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopAfterOnlyViaBreak(t *testing.T) {
+	g := build(t, "for {\n a()\n}\nc()")
+	if pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("no break: a must not reach c:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\n for {\n  if x {\n   break outer\n  }\n  a()\n }\n}\nc()")
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c via labeled break:\n%s", g)
+	}
+}
+
+func TestRangeMayBeEmpty(t *testing.T) {
+	g := build(t, "for range xs {\n a()\n}\nc()")
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c:\n%s", g)
+	}
+	// c reachable without a: empty range.
+	if !pathExists(g, func(n ast.Node) bool { _, ok := n.(ast.Expr); return ok }, isCall("c")) {
+		t.Errorf("range operand should reach c directly:\n%s", g)
+	}
+}
+
+func TestSwitchCasesExclusive(t *testing.T) {
+	g := build(t, "switch k {\ncase 1:\n a()\ncase 2:\n b()\n}\nd()")
+	if pathExists(g, isCall("a"), isCall("b")) {
+		t.Errorf("case bodies must be exclusive:\n%s", g)
+	}
+	if !pathExists(g, isCall("a"), isCall("d")) || !pathExists(g, isCall("b"), isCall("d")) {
+		t.Errorf("both cases should reach d:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "switch k {\ncase 1:\n a()\n fallthrough\ncase 2:\n b()\n}\nd()")
+	if !pathExists(g, isCall("a"), isCall("b")) {
+		t.Errorf("fallthrough should link case 1 to case 2:\n%s", g)
+	}
+}
+
+func TestSelectCommStatementsInClauses(t *testing.T) {
+	g := build(t, "select {\ncase v := <-ch:\n a()\ncase ch2 <- x:\n b()\n}\nd()")
+	if pathExists(g, isCall("a"), isCall("b")) {
+		t.Errorf("select clauses must be exclusive:\n%s", g)
+	}
+	if !pathExists(g, isCall("a"), isCall("d")) || !pathExists(g, isCall("b"), isCall("d")) {
+		t.Errorf("both clauses should reach d:\n%s", g)
+	}
+	// The send comm statement must appear as a node somewhere.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SendStmt); ok {
+				found = true
+			}
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if u, ok := as.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no comm statement node found:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "a()\ngoto done\nb()\ndone:\nc()")
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c via goto:\n%s", g)
+	}
+	if pathExists(g, isCall("a"), isCall("b")) {
+		t.Errorf("a must not reach b (skipped by goto):\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "again:\na()\nif x {\n goto again\n}\nc()")
+	if !pathExists(g, isCall("a"), isCall("a")) {
+		t.Errorf("backward goto should loop:\n%s", g)
+	}
+	if !pathExists(g, isCall("a"), isCall("c")) {
+		t.Errorf("a should reach c:\n%s", g)
+	}
+}
+
+func TestCompoundNodesAreAtomic(t *testing.T) {
+	// No block node may be a compound statement: inspecting a node's
+	// subtree must never cross into another block.
+	g := build(t, "if x {\n a()\n}\nfor i := 0; i < n; i++ {\n b()\n}\nswitch k {\ncase 1:\n c()\n}\nselect {\ncase <-ch:\n d()\n}")
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+				t.Errorf("compound node %T leaked into block %d:\n%s", n, b.Index, g)
+			}
+		}
+	}
+}
+
+func TestNilBodyGraph(t *testing.T) {
+	g := New(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil body must still produce entry and exit")
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry should edge straight to exit:\n%s", g)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := build(t, "a()\nreturn")
+	s := g.String()
+	if !strings.Contains(s, "expr") || !strings.Contains(s, "return") {
+		t.Errorf("String output missing node kinds:\n%s", s)
+	}
+}

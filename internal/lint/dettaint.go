@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetTaint is the interprocedural complement of detwallclock and detrand:
+// those catch a literal time.Now or rand.Float64 written inside a
+// deterministic package, while this one catches the same read laundered
+// through any chain of module helpers. A function whose result derives —
+// directly or through calls — from the wall clock, the process-global
+// PRNG, or map-iteration order is marked with a nondeterministic-source
+// fact; any call to (or reference of) such a function from a deterministic
+// package is a finding, reported with the full taint chain down to the
+// original source.
+//
+// Sources that are already annotated (//qoslint:allow detwallclock,
+// detrand, maprange, or dettaint on the source line) are sanctioned
+// boundaries — profiling reads that feed obs and never simulation state —
+// and do not seed taint, so one reviewed annotation clears both the
+// syntactic and the flow-aware analyzer.
+//
+// Known limits, all deliberate: calls through interfaces and function
+// values are not chased (sim.Probe implementations may read the clock —
+// their call sites are annotated); recursion is resolved optimistically;
+// and an argument must contain a tainted call syntactically for the
+// into-deterministic direction to fire — a wall-clock value parked in a
+// local first is the service layer's speedup clock, which is the one
+// sanctioned way real time enters the system.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "forbid calls whose results transitively derive from wall clock, global PRNG, or map order in deterministic packages",
+	Run:  runDetTaint,
+}
+
+// taintFactNS namespaces dettaint's facts in the Program store.
+const taintFactNS = "dettaint"
+
+// taintFact marks one function as a nondeterministic source. Chain walks
+// from the function itself down to the primitive source, rendered as
+// "pkg.F -> pkg.g -> time.Now".
+type taintFact struct {
+	// Reason names the primitive source: "time.Now", "rand.Intn",
+	// "map iteration order".
+	Reason string
+	// Chain lists the call path from the marked function to the source.
+	Chain []string
+}
+
+// notTainted is cached for functions proven clean, so the demand-driven
+// walk visits every function at most once per Program.
+type notTainted struct{}
+
+func runDetTaint(pass *Pass) error {
+	if pass.Prog == nil {
+		return fmt.Errorf("dettaint requires a Program (use Run or RunProgram)")
+	}
+	d := &tainter{prog: pass.Prog}
+	det := IsDeterministicPkg(pass.Pkg.Path)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if !det {
+					return true
+				}
+				// A use of a tainted module function — call or value
+				// reference — inside a deterministic package.
+				fn, ok := pass.Pkg.Info.Uses[n].(*types.Func)
+				if !ok {
+					return true
+				}
+				fact := d.taintOf(fn)
+				if fact == nil {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"%s is a nondeterministic source (%s) used in deterministic package %s; derive the value from engine state, or annotate a reviewed boundary with %s %s <reason>",
+					chainString(fact), fact.Reason, pass.Pkg.Path, DirectivePrefix, pass.Analyzer.Name)
+				return true
+			case *ast.CallExpr:
+				if det {
+					return true
+				}
+				// The other direction: a non-deterministic package passing a
+				// freshly produced nondeterministic value into a
+				// deterministic package's function.
+				callee := calleeOf(pass.Pkg, n)
+				if callee == nil || callee.Pkg() == nil || !IsDeterministicPkg(callee.Pkg().Path()) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if src, reason := d.directTaintIn(pass.Pkg, arg); src != nil {
+						pass.Reportf(src.Pos(),
+							"%s flows into deterministic package %s via the call to %s; nondeterministic inputs must be journaled state, not live reads — or annotate with %s %s <reason>",
+							reason, callee.Pkg().Path(), callee.Name(), DirectivePrefix, pass.Analyzer.Name)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// tainter computes and caches nondeterministic-source facts on demand.
+type tainter struct {
+	prog *Program
+	// inProgress guards against recursion: a cycle is resolved
+	// optimistically (the function is clean unless something acyclic taints
+	// it), which can only under-report.
+	inProgress map[*types.Func]bool
+}
+
+// taintOf returns the source fact for fn, computing and caching it on
+// first demand. Functions without loadable bodies (stdlib other than the
+// recognized time/rand primitives, interface methods) are clean.
+func (d *tainter) taintOf(fn *types.Func) *taintFact {
+	if f, ok := d.prog.Facts.Get(fn, taintFactNS); ok {
+		if tf, ok := f.(*taintFact); ok {
+			return tf
+		}
+		return nil
+	}
+	if d.inProgress[fn] {
+		return nil
+	}
+	if d.inProgress == nil {
+		d.inProgress = make(map[*types.Func]bool)
+	}
+	d.inProgress[fn] = true
+	defer delete(d.inProgress, fn)
+
+	fact := d.compute(fn)
+	if fact != nil {
+		d.prog.Facts.Set(fn, taintFactNS, fact)
+	} else {
+		d.prog.Facts.Set(fn, taintFactNS, notTainted{})
+	}
+	return fact
+}
+
+// compute scans fn's body for the first nondeterministic source in syntax
+// order: a wall-clock or global-PRNG reference, an order-dependent map
+// range, or a call to an already tainted module function.
+func (d *tainter) compute(fn *types.Func) *taintFact {
+	src, ok := d.prog.FuncSource(fn)
+	if !ok || src.Decl.Body == nil {
+		return nil
+	}
+	pkg := src.Pkg
+	var fact *taintFact
+	ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+		if fact != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if reason := primitiveSource(pkg, n); reason != "" && !d.allowedSource(pkg, n.Pos()) {
+				fact = &taintFact{Reason: reason, Chain: []string{funcLabel(fn), reason}}
+				return false
+			}
+		case *ast.RangeStmt:
+			if reason := mapOrderSource(pkg, n); reason != "" && !d.allowedSource(pkg, n.For) {
+				fact = &taintFact{Reason: reason, Chain: []string{funcLabel(fn), reason}}
+				return false
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(pkg, n)
+			if callee == nil || callee == fn {
+				return true
+			}
+			if sub := d.taintOf(callee); sub != nil && !d.allowedSource(pkg, n.Pos()) {
+				fact = &taintFact{Reason: sub.Reason, Chain: append([]string{funcLabel(fn)}, sub.Chain...)}
+				return false
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// taintAllowNames are the analyzers whose allow directive sanctions a
+// source line against seeding taint: the flow-aware analyzer itself plus
+// the syntactic determinism analyzers, so one reviewed annotation clears
+// both layers.
+var taintAllowNames = []string{"dettaint", "detwallclock", "detrand", "maprange"}
+
+// allowedSource reports whether an allow directive for dettaint or one of
+// the syntactic determinism analyzers covers the position — a reviewed
+// boundary that must not seed taint.
+func (d *tainter) allowedSource(pkg *Package, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := pkg.Fset.Position(pos)
+	for _, name := range taintAllowNames {
+		if d.prog.Allowed(name, p.Filename, p.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// directTaintIn scans an argument expression for a syntactically direct
+// nondeterministic producer: a wall-clock/PRNG reference or a call to a
+// tainted module function. It returns the offending node and a label.
+func (d *tainter) directTaintIn(pkg *Package, arg ast.Expr) (ast.Node, string) {
+	var node ast.Node
+	var label string
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if reason := primitiveSource(pkg, n); reason != "" && !d.allowedSource(pkg, n.Pos()) {
+				node, label = n, reason
+				return false
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(pkg, n)
+			if callee == nil {
+				return true
+			}
+			if sub := d.taintOf(callee); sub != nil && !d.allowedSource(pkg, n.Pos()) {
+				node, label = n, chainString(sub)
+				return false
+			}
+		}
+		return true
+	})
+	return node, label
+}
+
+// primitiveSource classifies a selector as a primitive nondeterministic
+// read: a wall-clock function from time, or a process-global math/rand
+// function.
+func primitiveSource(pkg *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	switch path := pkgNameOf(&Pass{Pkg: pkg}, id); path {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			return "time." + sel.Sel.Name
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); isFunc && !randConstructors[sel.Sel.Name] {
+			return "rand." + sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// mapOrderSource reports whether a range statement iterates a map in a way
+// that makes the function's behaviour order-dependent: the body returns or
+// breaks (first-key-wins), which is the interprocedural shape maprange's
+// sink rules cannot see.
+func mapOrderSource(pkg *Package, rs *ast.RangeStmt) string {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok {
+		return ""
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return ""
+	}
+	if stmtEscapesLoop(rs.Body, true) {
+		return "map iteration order"
+	}
+	return ""
+}
+
+// stmtEscapesLoop reports whether executing s can leave the enclosing map
+// range early: a return anywhere (closures excluded — statement traversal
+// never descends into expressions), or an unlabeled break bound to that
+// range. breakMine is true while an unlabeled break still binds to the map
+// range rather than to a nested loop, switch, or select.
+func stmtEscapesLoop(s ast.Stmt, breakMine bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return breakMine && s.Tok == token.BREAK && s.Label == nil
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if stmtEscapesLoop(st, breakMine) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return stmtEscapesLoop(s.Body, breakMine) || stmtEscapesLoop(s.Else, breakMine)
+	case *ast.ForStmt:
+		return stmtEscapesLoop(s.Body, false)
+	case *ast.RangeStmt:
+		return stmtEscapesLoop(s.Body, false)
+	case *ast.SwitchStmt:
+		return switchBodyEscapes(s.Body)
+	case *ast.TypeSwitchStmt:
+		return switchBodyEscapes(s.Body)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			for _, st := range cl.(*ast.CommClause).Body {
+				if stmtEscapesLoop(st, false) {
+					return true
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return stmtEscapesLoop(s.Stmt, breakMine)
+	}
+	return false
+}
+
+func switchBodyEscapes(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		for _, st := range cl.(*ast.CaseClause).Body {
+			if stmtEscapesLoop(st, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chainString renders a taint chain as "pkg.F -> pkg.g -> time.Now".
+func chainString(f *taintFact) string {
+	return strings.Join(f.Chain, " -> ")
+}
+
+// funcLabel renders a function for taint chains: pkg.Name for package
+// functions, pkg.(Recv).Name for methods, with the module prefix dropped
+// for brevity.
+func funcLabel(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		name = recvLabel(sig.Recv().Type()) + "." + name
+	}
+	if fn.Pkg() != nil {
+		p := fn.Pkg().Path()
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		name = p + "." + name
+	}
+	return name
+}
+
+func recvLabel(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,83 @@
+// Package facts is a per-object fact store for cross-package analysis,
+// mirroring the shape of go/analysis facts with nothing beyond go/types.
+// An analyzer computing a property of a function in one package (say,
+// "this function's result derives from the wall clock") records it against
+// the types.Object; when another package's analysis reaches a call to that
+// function, it looks the fact up instead of re-deriving it. Facts are
+// namespaced by analyzer so two analyzers can attach independent facts to
+// the same object.
+package facts
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// A Store holds facts keyed by (object, namespace). It is not safe for
+// concurrent use: the lint driver is single-threaded by design, because
+// finding order must be deterministic.
+type Store struct {
+	m map[types.Object]map[string]any
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[types.Object]map[string]any)}
+}
+
+// Set records fact under (obj, ns), replacing any previous value. A nil
+// object is rejected: facts must be attachable to a resolvable identity.
+func (s *Store) Set(obj types.Object, ns string, fact any) error {
+	if obj == nil {
+		return fmt.Errorf("facts: nil object for namespace %q", ns)
+	}
+	byNS := s.m[obj]
+	if byNS == nil {
+		byNS = make(map[string]any)
+		s.m[obj] = byNS
+	}
+	byNS[ns] = fact
+	return nil
+}
+
+// Get returns the fact recorded under (obj, ns), if any.
+func (s *Store) Get(obj types.Object, ns string) (any, bool) {
+	f, ok := s.m[obj][ns]
+	return f, ok
+}
+
+// An Entry pairs an object with its recorded fact, for All.
+type Entry struct {
+	Obj  types.Object
+	Fact any
+}
+
+// All returns every fact in namespace ns, sorted by the object's full
+// qualified name so iteration is deterministic.
+func (s *Store) All(ns string) []Entry {
+	var out []Entry
+	for obj, byNS := range s.m {
+		if f, ok := byNS[ns]; ok {
+			out = append(out, Entry{Obj: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return fullName(out[i].Obj) < fullName(out[j].Obj) })
+	return out
+}
+
+// Len reports the number of objects carrying at least one fact.
+func (s *Store) Len() int { return len(s.m) }
+
+// fullName renders pkgpath.Name (with the receiver for methods) for stable
+// sorting.
+func fullName(obj types.Object) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return pkg + "." + fn.FullName()
+	}
+	return pkg + "." + obj.Name()
+}

@@ -1,0 +1,76 @@
+package facts
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func newFunc(pkg *types.Package, name string) *types.Func {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func TestSetGetRoundtrip(t *testing.T) {
+	s := NewStore()
+	pkg := types.NewPackage("example/p", "p")
+	f := newFunc(pkg, "F")
+	if err := s.Set(f, "taint", "wall-clock"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(f, "taint")
+	if !ok || got != "wall-clock" {
+		t.Fatalf("Get = %v, %v; want wall-clock, true", got, ok)
+	}
+	if _, ok := s.Get(f, "other"); ok {
+		t.Error("fact leaked across namespaces")
+	}
+	if _, ok := s.Get(newFunc(pkg, "G"), "taint"); ok {
+		t.Error("fact leaked across objects")
+	}
+}
+
+func TestSetReplaces(t *testing.T) {
+	s := NewStore()
+	pkg := types.NewPackage("example/p", "p")
+	f := newFunc(pkg, "F")
+	s.Set(f, "n", 1)
+	s.Set(f, "n", 2)
+	got, _ := s.Get(f, "n")
+	if got != 2 {
+		t.Fatalf("Get = %v, want 2", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestNilObjectRejected(t *testing.T) {
+	s := NewStore()
+	if err := s.Set(nil, "n", 1); err == nil {
+		t.Fatal("nil object accepted")
+	}
+}
+
+func TestAllSortedDeterministically(t *testing.T) {
+	s := NewStore()
+	pa := types.NewPackage("example/a", "a")
+	pb := types.NewPackage("example/b", "b")
+	fb := newFunc(pb, "B")
+	fa := newFunc(pa, "A")
+	fa2 := newFunc(pa, "Z")
+	s.Set(fb, "n", "b")
+	s.Set(fa2, "n", "z")
+	s.Set(fa, "n", "a")
+	s.Set(fa, "other", "x") // different namespace, excluded
+	got := s.All("n")
+	if len(got) != 3 {
+		t.Fatalf("All returned %d entries, want 3", len(got))
+	}
+	wantOrder := []types.Object{fa, fa2, fb}
+	for i, e := range got {
+		if e.Obj != wantOrder[i] {
+			t.Errorf("All[%d] = %v, want %v", i, e.Obj, wantOrder[i])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective throws arbitrary source at the allow-directive parser
+// and checks the framework's suppression invariants hold for every input:
+// parsing is deterministic, malformed directives are attributed to the
+// unsuppressable framework analyzer at a real position, and the suppression
+// set never contains an unknown analyzer name or silences the framework
+// itself.
+func FuzzAllowDirective(f *testing.F) {
+	// Seed with the real malformed-directive fixture plus handwritten
+	// edge shapes: well-formed, truncated, unknown names, odd whitespace,
+	// trailing placement, stacked standalone directives, and near-misses
+	// of the prefix.
+	if seed, err := os.ReadFile(filepath.Join("testdata", "src", "directive", "directive.go")); err == nil {
+		f.Add(string(seed))
+	}
+	for _, s := range []string{
+		"package p\n//qoslint:allow detwallclock profiling boundary\nvar x = 1\n",
+		"package p\nvar x = 1 //qoslint:allow floateq tolerance is exact here\n",
+		"package p\n//qoslint:allow\nvar x = 1\n",
+		"package p\n//qoslint:allow maprange\nvar x = 1\n",
+		"package p\n//qoslint:allow nosuch because reasons\nvar x = 1\n",
+		"package p\n//qoslint:allowx smashed prefix\nvar x = 1\n",
+		"package p\n//qoslint:allow\tdetrand\ttab separated reason\nvar x = 1\n",
+		"package p\n//qoslint:allow qoslint trying to silence the framework\nvar x = 1\n",
+		"package p\n//qoslint:allow dettaint first\n//qoslint:allow lockheld second\nvar x = 1\n",
+		"package p\n/*qoslint:allow floateq block comments are not directives*/\nvar x = 1\n",
+	} {
+		f.Add(s)
+	}
+
+	known := make(map[string]bool)
+	for _, n := range Names() {
+		known[n] = true
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return // not valid Go; the parser rejects it before lint runs
+		}
+		pkg := &Package{
+			Path:  "probqos/internal/fuzz",
+			Fset:  fset,
+			Files: []*ast.File{file},
+			Src:   map[string][]byte{"fuzz.go": []byte(src)},
+		}
+		allows, bad := parseDirectives(pkg, known)
+		allows2, bad2 := parseDirectives(pkg, known)
+		if !reflect.DeepEqual(allows, allows2) || !reflect.DeepEqual(bad, bad2) {
+			t.Fatalf("parseDirectives is not deterministic:\n%v\n%v", allows, allows2)
+		}
+		for _, finding := range bad {
+			if finding.Analyzer != frameworkAnalyzer {
+				t.Errorf("malformed directive attributed to %q, want %q", finding.Analyzer, frameworkAnalyzer)
+			}
+			if finding.File != "fuzz.go" || finding.Line < 1 || finding.Message == "" {
+				t.Errorf("malformed-directive finding lacks a usable position or message: %+v", finding)
+			}
+		}
+		for fileName, byLine := range allows {
+			for line, names := range byLine {
+				if allows.covers(frameworkAnalyzer, fileName, line) {
+					t.Errorf("suppression set silences the framework analyzer at %s:%d", fileName, line)
+				}
+				for name := range names {
+					if !known[name] {
+						t.Errorf("suppression set holds unknown analyzer %q at %s:%d", name, fileName, line)
+					}
+				}
+			}
+		}
+		if !strings.Contains(src, DirectivePrefix) && (len(allows) != 0 || len(bad) != 0) {
+			t.Errorf("directives materialized from source with no %s prefix", DirectivePrefix)
+		}
+	})
+}

@@ -46,10 +46,13 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Pass carries one analyzer's view of one package.
+// A Pass carries one analyzer's view of one package. Prog gives the
+// flow-aware analyzers the rest of the loaded module: dependency package
+// syntax, the function index, and the cross-package fact store.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 
 	report func(Finding)
 }
@@ -91,20 +94,30 @@ const frameworkAnalyzer = "qoslint"
 // Run executes the analyzers over the packages and returns every surviving
 // finding sorted by file, line, column, then analyzer name. known lists all
 // analyzer names valid in allow directives (normally the names of All());
-// directives naming anything else are reported as malformed.
+// directives naming anything else are reported as malformed. The Program
+// the passes see contains exactly pkgs; use RunProgram when dependency
+// packages should be visible to the flow-aware analyzers.
 func Run(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	return RunProgram(NewProgram(pkgs, known), pkgs, analyzers, known)
+}
+
+// RunProgram is Run with an explicit Program: targets are the packages
+// findings are reported for, while prog may additionally hold their module
+// dependencies so interprocedural analyses can cross package boundaries.
+func RunProgram(prog *Program, targets []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
 	knownSet := make(map[string]bool, len(known))
 	for _, n := range known {
 		knownSet[n] = true
 	}
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		allows, bad := parseDirectives(pkg, knownSet)
 		findings = append(findings, bad...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
+				Prog:     prog,
 				report: func(f Finding) {
 					if allows.covers(f.Analyzer, f.Pos.Filename, f.Pos.Line) {
 						return

@@ -297,6 +297,19 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// Packages returns every module package this loader has loaded — the ones
+// requested through Load plus every module dependency pulled in by type
+// checking — sorted by import path. Drivers hand this to NewProgram so the
+// interprocedural analyzers can see dependency function bodies.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.ModRoot, 0)

@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"probqos/internal/lint/cfg"
+)
+
+// LockHeld is a path-sensitive critical-section checker for sync.Mutex and
+// sync.RWMutex. Two invariants, both checked over the function's control-
+// flow graph rather than its syntax:
+//
+//   - No blocking operation — channel send or receive, fsync on a writable
+//     handle, network I/O, time.Sleep, a sim run — may execute on any path
+//     where a lock is held. qosd's state machine is single-goroutine by
+//     design precisely so the hot path never sleeps under a lock; anywhere
+//     else, a blocked holder stalls every other user of that lock.
+//   - Every path from Lock to a return must pass an Unlock or be covered by
+//     a deferred one. The classic leak — Lock, early error return, Unlock
+//     never reached — deadlocks the next caller, and shows up only under
+//     the error injection the race detector doesn't drive.
+//
+// Locks are named by their receiver expression within one function
+// ("s.mu"), so aliasing through pointers is invisible — conservative in
+// the direction of missing findings, never inventing them. Channel
+// operations in a select with a default clause are non-blocking attempts
+// and are exempt.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "forbid blocking operations while a sync.Mutex/RWMutex is held and lock leaks on return paths",
+	Run:  runLockHeld,
+}
+
+// Lock status bits for the may-analysis: a lock can be in several of these
+// at a merge point, one per path.
+const (
+	lsUnheld    uint8 = 1 << iota
+	lsHeld            // locked, no deferred unlock seen on this path
+	lsHeldDefer       // locked, a deferred unlock will release it at return
+)
+
+// lockState maps a lock key (receiver source text) to its status bits.
+// A missing key means unheld.
+type lockState map[string]uint8
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeLockState ORs src into dst, treating missing keys as unheld.
+// Reports whether dst changed.
+func mergeLockState(dst, src lockState) bool {
+	changed := false
+	for k, v := range src {
+		old := dst[k]
+		if old == 0 {
+			old = lsUnheld
+		}
+		if old|v != old {
+			dst[k] = old | v
+			changed = true
+		} else if _, ok := dst[k]; !ok {
+			dst[k] = old | v
+			changed = true
+		}
+	}
+	for k, v := range dst {
+		if _, ok := src[k]; !ok && v|lsUnheld != v {
+			dst[k] = v | lsUnheld
+			changed = true
+		}
+	}
+	return changed
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evDeferRelease
+	evBlock
+)
+
+// A lockEvent is one lock transition or blocking operation inside a CFG
+// node, ordered by position.
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	key  string // lock key for acquire/release events
+	desc string // operation description for block events
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, fd.Body)
+		}
+		// Function literals get their own graphs: a closure's critical
+		// section is its own flow problem, not the enclosing function's.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkLockFlow(pass, fl.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLockFlow(pass *Pass, body *ast.BlockStmt) {
+	lc := &lockChecker{
+		pass:        pass,
+		nonBlocking: nonBlockingComms(body),
+		events:      make(map[ast.Node][]lockEvent),
+		reported:    make(map[string]bool),
+	}
+	g := cfg.New(body)
+	entries := lc.fixpoint(g)
+	// Emit findings in a second pass over the converged states, so loop
+	// iteration order cannot duplicate or reorder reports.
+	for _, blk := range g.Blocks {
+		st, reachable := entries[blk]
+		if !reachable {
+			continue
+		}
+		lc.applyBlock(blk, st.clone(), true, body.Rbrace, blockFallsToExit(blk, g))
+	}
+}
+
+// blockFallsToExit reports whether blk reaches the exit without a return
+// statement: the fall-off end of the function body.
+func blockFallsToExit(blk *cfg.Block, g *cfg.Graph) bool {
+	toExit := false
+	for _, s := range blk.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if len(blk.Nodes) > 0 {
+		if _, isReturn := blk.Nodes[len(blk.Nodes)-1].(*ast.ReturnStmt); isReturn {
+			return false
+		}
+		if br, isBranch := blk.Nodes[len(blk.Nodes)-1].(*ast.BranchStmt); isBranch && br.Tok == token.GOTO {
+			return false
+		}
+	}
+	return true
+}
+
+type lockChecker struct {
+	pass        *Pass
+	nonBlocking map[ast.Node]bool
+	events      map[ast.Node][]lockEvent
+	reported    map[string]bool
+}
+
+// fixpoint propagates lock states forward until entry states stabilize.
+// Only reachable blocks appear in the result.
+func (lc *lockChecker) fixpoint(g *cfg.Graph) map[*cfg.Block]lockState {
+	entries := map[*cfg.Block]lockState{g.Entry: make(lockState)}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		exit := lc.applyBlock(blk, entries[blk].clone(), false, token.NoPos, false)
+		for _, succ := range blk.Succs {
+			dst, ok := entries[succ]
+			if !ok {
+				entries[succ] = exit.clone()
+				work = append(work, succ)
+				continue
+			}
+			if mergeLockState(dst, exit) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return entries
+}
+
+// applyBlock runs the transfer function over one block. With emit set it
+// also reports blocking-under-lock and leak-on-return findings; rbrace and
+// fallsOff drive the fall-off-end leak check.
+func (lc *lockChecker) applyBlock(blk *cfg.Block, st lockState, emit bool, rbrace token.Pos, fallsOff bool) lockState {
+	for _, n := range blk.Nodes {
+		for _, ev := range lc.eventsFor(n) {
+			switch ev.kind {
+			case evAcquire:
+				st[ev.key] = lsHeld
+			case evRelease:
+				st[ev.key] = lsUnheld
+			case evDeferRelease:
+				bits := st[ev.key]
+				if bits&lsHeld != 0 {
+					st[ev.key] = (bits &^ lsHeld) | lsHeldDefer
+				}
+			case evBlock:
+				if !emit {
+					continue
+				}
+				for key, bits := range st {
+					if bits&(lsHeld|lsHeldDefer) == 0 {
+						continue
+					}
+					lc.reportOnce(ev.pos, "block:"+key,
+						"%s while %s is locked; a blocked holder stalls every other user of the lock — release first, or annotate with %s %s <reason>",
+						ev.desc, key, DirectivePrefix, lc.pass.Analyzer.Name)
+				}
+			}
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && emit {
+			lc.leakCheck(st, ret.Pos())
+		}
+	}
+	if emit && fallsOff {
+		lc.leakCheck(st, rbrace)
+	}
+	return st
+}
+
+// leakCheck reports every lock that can still be held — with no deferred
+// unlock covering it — when control leaves the function here.
+func (lc *lockChecker) leakCheck(st lockState, pos token.Pos) {
+	var keys []string
+	for key, bits := range st {
+		if bits&lsHeld != 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		lc.reportOnce(pos, "leak:"+key,
+			"%s can still be locked when this path returns (no Unlock and no deferred one); the next Lock deadlocks — unlock on every path, or annotate with %s %s <reason>",
+			key, DirectivePrefix, lc.pass.Analyzer.Name)
+	}
+}
+
+func (lc *lockChecker) reportOnce(pos token.Pos, tag, format string, args ...any) {
+	id := fmt.Sprintf("%d:%s", pos, tag)
+	if lc.reported[id] {
+		return
+	}
+	lc.reported[id] = true
+	lc.pass.Reportf(pos, format, args...)
+}
+
+// eventsFor extracts the lock and blocking events inside one CFG node, in
+// position order, memoized. Function literal bodies are skipped — they are
+// analyzed as their own graphs — except that a deferred closure is scanned
+// for the unlocks it will run at return.
+func (lc *lockChecker) eventsFor(n ast.Node) []lockEvent {
+	if evs, ok := lc.events[n]; ok {
+		return evs
+	}
+	var evs []lockEvent
+	pkg := lc.pass.Pkg
+	var scan func(node ast.Node, deferred bool)
+	scan = func(node ast.Node, deferred bool) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if key, mth, ok := lockMethodCall(pkg, m.Call); ok {
+					if mth == "Unlock" || mth == "RUnlock" {
+						evs = append(evs, lockEvent{pos: m.Pos(), kind: evDeferRelease, key: key})
+					}
+					return false
+				}
+				if fl, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					// defer func() { ...; mu.Unlock() }(): the closure's
+					// unlocks count as deferred releases here.
+					scan(fl.Body, true)
+				}
+				for _, arg := range m.Call.Args {
+					scan(arg, false)
+				}
+				return false
+			case *ast.GoStmt:
+				for _, arg := range m.Call.Args {
+					scan(arg, false)
+				}
+				return false
+			case *ast.CallExpr:
+				if key, mth, ok := lockMethodCall(pkg, m); ok {
+					kind := evAcquire
+					if mth == "Unlock" || mth == "RUnlock" {
+						kind = evRelease
+						if deferred {
+							kind = evDeferRelease
+						}
+					} else if deferred {
+						return true
+					}
+					evs = append(evs, lockEvent{pos: m.Pos(), kind: kind, key: key})
+					return true
+				}
+				if deferred {
+					return true
+				}
+				if desc := blockingCall(pkg, m); desc != "" {
+					evs = append(evs, lockEvent{pos: m.Pos(), kind: evBlock, desc: desc})
+				}
+			case *ast.SendStmt:
+				if !deferred && !lc.nonBlocking[n] {
+					evs = append(evs, lockEvent{pos: m.Arrow, kind: evBlock, desc: "channel send"})
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !deferred && !lc.nonBlocking[n] {
+					evs = append(evs, lockEvent{pos: m.OpPos, kind: evBlock, desc: "channel receive"})
+				}
+			}
+			return true
+		})
+	}
+	scan(n, false)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	lc.events[n] = evs
+	return evs
+}
+
+// nonBlockingComms collects the comm statements of every select that has a
+// default clause: those sends and receives are non-blocking attempts.
+func nonBlockingComms(body *ast.BlockStmt) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, cl := range sel.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					out[comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockMethodCall classifies a call as a sync lock operation, returning the
+// lock's key (receiver source text) and the method name. Promoted methods
+// of embedded mutexes resolve to package sync too, so embedding is covered.
+func lockMethodCall(pkg *Package, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprString(pkg.Fset, sel.X), sel.Sel.Name, true
+}
+
+// blockingCall classifies a call that can block indefinitely: network I/O,
+// an fsync on a writable handle, time.Sleep, or running the simulator.
+func blockingCall(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeOf(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		short := path
+		if i := strings.LastIndex(short, "/"); i >= 0 {
+			short = short[i+1:]
+		}
+		return "network I/O (" + short + "." + fn.Name() + ")"
+	case fn.Name() == "Sync":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			returnsOnlyError(sig) && isWritableHandle(sig.Recv().Type()) {
+			return "fsync (" + fn.Name() + " on a writable handle)"
+		}
+	case strings.HasSuffix(path, "internal/sim") && fn.Name() == "Run":
+		return "sim.Run"
+	}
+	return ""
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryAnalyzerHasFixtureCoverage pins the registry to the fixture zoo:
+// every analyzer returned by All() must name a fixture package on which it
+// produces at least one finding. Registering a new analyzer without seeding
+// a fixture (or renaming one without updating its fixture entry) fails
+// here, so the exact-position tables in lint_test.go and flow_test.go can
+// never silently stop covering an analyzer.
+func TestEveryAnalyzerHasFixtureCoverage(t *testing.T) {
+	// fixtures maps analyzer name → the fixture packages to load (in
+	// dependency order) and the index of the package findings must land in.
+	fixtures := map[string]struct {
+		specs  []fixtureSpec
+		target int
+	}{
+		"detwallclock": {[]fixtureSpec{{"detwallclock", "probqos/internal/sim/fixture"}}, 0},
+		"detrand":      {[]fixtureSpec{{"detrand", "probqos/internal/sched/fixture"}}, 0},
+		"floateq":      {[]fixtureSpec{{"floateq", "probqos/internal/fixture"}}, 0},
+		"syncerr":      {[]fixtureSpec{{"syncerr", "probqos/internal/durability/fixture"}}, 0},
+		"maprange":     {[]fixtureSpec{{"maprange", "probqos/internal/fixture"}}, 0},
+		"obsimport":    {[]fixtureSpec{{"obsimport", "probqos/internal/durability/fixture"}}, 0},
+		"dettaint": {[]fixtureSpec{
+			{"dettaintdep", "probqos/internal/clockutil/fixture"},
+			{"dettaint", "probqos/internal/sim/fixture"},
+			{"dettaintcall", "probqos/internal/qosd/fixture"},
+		}, 1},
+		"lockheld":   {[]fixtureSpec{{"lockheld", "probqos/internal/fixture"}}, 0},
+		"poolescape": {[]fixtureSpec{{"poolescape", "probqos/internal/fixture"}}, 0},
+		"walswitch":  {[]fixtureSpec{{"walswitch", "probqos/internal/fixture"}}, 0},
+	}
+
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+		if _, ok := fixtures[a.Name]; !ok {
+			t.Errorf("analyzer %q is registered but has no fixture entry; seed one under testdata/src and add it here", a.Name)
+		}
+	}
+	for name := range fixtures {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("fixture entry %q names no registered analyzer; was it renamed?", name)
+		}
+	}
+
+	for name, fx := range fixtures {
+		a := byName[name]
+		if a == nil {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			pkgs, prog := loadFixtureProgram(t, fx.specs...)
+			fs, err := RunProgram(prog, []*Package{pkgs[fx.target]}, []*Analyzer{a}, Names())
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for _, f := range fs {
+				if f.Analyzer == name {
+					n++
+				}
+			}
+			if n == 0 {
+				t.Errorf("analyzer %q produced no findings on its fixture %s; the fixture no longer exercises it:\n  %s",
+					name, fx.specs[fx.target].dir, strings.Join(render(fs), "\n  "))
+			}
+		})
+	}
+}

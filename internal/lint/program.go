@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"probqos/internal/lint/facts"
+)
+
+// A Program is the whole-module view the flow-aware analyzers work from:
+// every loaded package (analysis targets and their module dependencies), a
+// lazily built index from function objects to their syntax, the cross-
+// package fact store, and the union of every package's allow directives.
+// A Pass carries the Program so an analyzer inspecting one package can
+// chase a call into another package's function body instead of stopping at
+// the type signature.
+type Program struct {
+	pkgs map[string]*Package
+
+	// Facts carries analyzer-computed per-object facts across packages
+	// (dettaint's nondeterministic-source marks live here). One store per
+	// Program: facts computed while analyzing an early package are visible
+	// to every later pass.
+	Facts *facts.Store
+
+	funcs      map[*types.Func]*FuncSource
+	funcsBuilt bool
+
+	// allows unions every loaded package's directive set, so source-level
+	// suppression works for facts computed about dependency packages that
+	// are not themselves analysis targets.
+	allows      allowSet
+	allowsBuilt bool
+	known       map[string]bool
+}
+
+// FuncSource is a function's declaration together with the package that
+// holds it, so analyzers can read the body with the right types.Info.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// NewProgram builds a Program over the given packages. The known names
+// seed directive parsing for Allowed; pass Names() (the default used by
+// Run) unless a test needs a custom vocabulary.
+func NewProgram(pkgs []*Package, known []string) *Program {
+	p := &Program{
+		pkgs:  make(map[string]*Package, len(pkgs)),
+		Facts: facts.NewStore(),
+		known: make(map[string]bool, len(known)),
+	}
+	for _, pkg := range pkgs {
+		p.pkgs[pkg.Path] = pkg
+	}
+	for _, n := range known {
+		p.known[n] = true
+	}
+	return p
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.pkgs[path] }
+
+// Packages returns every loaded package sorted by import path.
+func (p *Program) Packages() []*Package {
+	out := make([]*Package, 0, len(p.pkgs))
+	for _, pkg := range p.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FuncSource returns the declaration of fn if its defining package is
+// loaded in this Program. Function literals, interface methods, and
+// functions of packages outside the Program (the standard library) have no
+// source here.
+func (p *Program) FuncSource(fn *types.Func) (*FuncSource, bool) {
+	if !p.funcsBuilt {
+		p.funcs = make(map[*types.Func]*FuncSource)
+		for _, pkg := range p.Packages() {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Name == nil {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.funcs[obj] = &FuncSource{Decl: fd, Pkg: pkg}
+					}
+				}
+			}
+		}
+		p.funcsBuilt = true
+	}
+	fs, ok := p.funcs[fn]
+	return fs, ok
+}
+
+// Allowed reports whether an allow directive for the named analyzer covers
+// the given file and line, in any loaded package. Analyzers consult this
+// when deciding whether an annotated site should seed a cross-package fact
+// — the framework's own per-finding suppression only sees target packages.
+func (p *Program) Allowed(analyzer, file string, line int) bool {
+	if !p.allowsBuilt {
+		p.allows = make(allowSet)
+		for _, pkg := range p.Packages() {
+			got, _ := parseDirectives(pkg, p.known)
+			for f, byLine := range got {
+				for ln, names := range byLine {
+					for name := range names {
+						p.allows.add(f, ln, name)
+					}
+				}
+			}
+		}
+		p.allowsBuilt = true
+	}
+	return p.allows.covers(analyzer, file, line)
+}
+
+// calleeOf resolves a call expression to the package-level function or
+// method it statically invokes, using pkg's type information. Calls
+// through function values, builtins, interface methods without a static
+// receiver, and type conversions resolve to nil.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.F().
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package fixture is dettaint's deterministic-side fixture: loaded under a
+// deterministic import path, it calls transitively tainted, clean, and
+// sanctioned helpers from the dependency fixture, plus an in-package
+// map-order-dependent helper.
+package fixture
+
+import clockutil "probqos/internal/clockutil/fixture"
+
+// StepDelay calls a helper whose result derives from the wall clock two
+// calls down: bad.
+func StepDelay() float64 {
+	return clockutil.Jitter()
+}
+
+// Width calls a clean helper: fine.
+func Width(a, b float64) float64 {
+	return clockutil.Span(a, b)
+}
+
+// Seed calls a sanctioned boundary: fine.
+func Seed() int64 {
+	return clockutil.SeedFromEnv()
+}
+
+// pick is order-dependent: it returns whichever key the runtime happens to
+// iterate first, so every caller inherits the taint.
+func pick(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+
+// First calls the order-dependent helper: bad.
+func First(m map[string]int) int {
+	return pick(m)
+}

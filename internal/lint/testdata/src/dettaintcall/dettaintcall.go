@@ -1,0 +1,26 @@
+// Package fixture is dettaint's flow-direction fixture: a non-deterministic
+// driver package passing freshly read nondeterministic values into a
+// deterministic package's functions.
+package fixture
+
+import (
+	"time"
+
+	simfix "probqos/internal/sim/fixture"
+)
+
+// FeedClock hands a live wall-clock read straight into the deterministic
+// package: bad.
+func FeedClock() float64 {
+	return simfix.Width(float64(time.Now().UnixNano()), 0)
+}
+
+// FeedJitter hands a transitively tainted value in: bad.
+func FeedJitter() float64 {
+	return simfix.Width(simfix.StepDelay(), 0)
+}
+
+// FeedConst passes plain data: fine.
+func FeedConst() float64 {
+	return simfix.Width(1.5, 0.5)
+}

@@ -1,0 +1,29 @@
+// Package fixture is dettaint's dependency fixture: module helpers loaded
+// under a non-deterministic import path, exercising taint that is invisible
+// to the syntactic analyzers because the wall-clock read sits two calls
+// away from the deterministic caller.
+package fixture
+
+import "time"
+
+// wallSeconds is the primitive source: a direct wall-clock read.
+func wallSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// Jitter launders the read through a second helper: callers are tainted
+// two calls away from time.Now.
+func Jitter() float64 {
+	return wallSeconds() * 0.5
+}
+
+// Span is clean: pure arithmetic, callable from anywhere.
+func Span(a, b float64) float64 {
+	return b - a
+}
+
+// SeedFromEnv is a reviewed boundary: the annotation sanctions the source,
+// so callers in deterministic packages are not tainted by it.
+func SeedFromEnv() int64 {
+	return time.Now().UnixNano() //qoslint:allow dettaint reviewed boundary, seed is recorded in run metadata and replayed
+}

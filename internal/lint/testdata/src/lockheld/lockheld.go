@@ -1,0 +1,107 @@
+// Package fixture exercises lockheld: blocking operations inside critical
+// sections and lock leaks on early returns, plus the corrected forms that
+// must stay silent.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// BlockUnderLock sleeps while holding the mutex: bad.
+func (c *counter) BlockUnderLock() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond)
+	c.mu.Unlock()
+}
+
+// SendUnderDeferredLock sends on a channel with the deferred unlock still
+// pending: the lock is held across the send.
+func (c *counter) SendUnderDeferredLock(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch <- v
+}
+
+// LeakOnError returns early with the mutex still held: bad.
+func (c *counter) LeakOnError(err error) error {
+	c.mu.Lock()
+	if err != nil {
+		return err
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Balanced unlocks on every path: fine.
+func (c *counter) Balanced(err error) error {
+	c.mu.Lock()
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// DeferBalanced relies on the deferred unlock: fine.
+func (c *counter) DeferBalanced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// TryNotify uses a select with a default clause: the send is a non-blocking
+// attempt, so holding the lock across it is fine.
+func (c *counter) TryNotify(v int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReleaseBeforeBlocking unlocks before the send: fine.
+func (c *counter) ReleaseBeforeBlocking(v int) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+type store struct {
+	rw sync.RWMutex
+	f  *os.File
+}
+
+// FlushUnderRLock fsyncs while holding the read lock: a slow disk stalls
+// every writer.
+func (s *store) FlushUnderRLock() {
+	s.rw.RLock()
+	s.f.Sync() //qoslint:allow syncerr fixture exercises lockheld, not syncerr
+	s.rw.RUnlock()
+}
+
+// ClosureLeak leaks inside a function literal, which gets its own graph.
+func ClosureLeak(c *counter, errs <-chan error) func() error {
+	return func() error {
+		c.mu.Lock()
+		if err := <-errs; err != nil {
+			return err
+		}
+		c.mu.Unlock()
+		return nil
+	}
+}

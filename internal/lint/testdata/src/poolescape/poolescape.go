@@ -1,0 +1,90 @@
+// Package fixture exercises poolescape: objects read, aliased, or released
+// again after being handed back to a sync.Pool, an arena, or a freelist,
+// plus the corrected forms that must stay silent.
+package fixture
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// UseAfterPut reads the buffer after returning it to the pool: bad.
+func UseAfterPut() int {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	return len(b.b)
+}
+
+// DoublePut can release twice when fail is true: bad.
+func DoublePut(fail bool) {
+	b := pool.Get().(*buf)
+	if fail {
+		pool.Put(b)
+	}
+	pool.Put(b)
+}
+
+// PutLast copies what it needs before releasing: fine.
+func PutLast() int {
+	b := pool.Get().(*buf)
+	n := len(b.b)
+	pool.Put(b)
+	return n
+}
+
+// Rebind gets a fresh object after the release: the reassignment clears
+// the released state, so the later read is fine.
+func Rebind() int {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	b = pool.Get().(*buf)
+	n := len(b.b)
+	pool.Put(b)
+	return n
+}
+
+type event struct{ id int }
+
+type arena struct{ free []*event }
+
+func (a *arena) get() *event {
+	if n := len(a.free); n > 0 {
+		ev := a.free[n-1]
+		a.free = a.free[:n-1]
+		return ev
+	}
+	return new(event)
+}
+
+func (a *arena) put(ev *event) { a.free = append(a.free, ev) }
+
+// RecycleThenRead reads a field after the arena reclaimed the event: bad.
+func (a *arena) RecycleThenRead(ev *event) int {
+	a.put(ev)
+	return ev.id
+}
+
+// PushTwice pushes the same event onto the freelist twice: bad.
+func (a *arena) PushTwice(ev *event) {
+	a.free = append(a.free, ev)
+	a.free = append(a.free, ev)
+}
+
+// ReadThenRecycle is the correct order: fine.
+func (a *arena) ReadThenRecycle(ev *event) int {
+	id := ev.id
+	a.put(ev)
+	return id
+}
+
+// LoopReuse rebinds the variable each iteration: fine.
+func (a *arena) LoopReuse(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		ev := a.get()
+		sum += ev.id
+		a.put(ev)
+	}
+	return sum
+}

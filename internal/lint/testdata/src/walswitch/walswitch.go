@@ -1,0 +1,63 @@
+// Package fixture exercises walswitch: a string record-kind group whose
+// apply switch misses a member, a complete replay switch that must stay
+// silent, and a kind that is discriminated on but never produced.
+package fixture
+
+// Record kinds journaled by the fixture's imaginary WAL.
+const (
+	opAlpha = "alpha"
+	opBeta  = "beta"
+	opGamma = "gamma"
+)
+
+type rec struct{ Kind string }
+
+// Apply misses opGamma: a record of that kind would hit the default and
+// fail replay.
+func Apply(r rec) int {
+	switch r.Kind {
+	case opAlpha:
+		return 1
+	case opBeta:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Replay covers every kind: fine.
+func Replay(r rec) int {
+	switch r.Kind {
+	case opAlpha:
+		return 1
+	case opBeta, opGamma:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Produce constructs every kind of the first group.
+func Produce() []rec {
+	return []rec{{Kind: opAlpha}, {Kind: opBeta}, {Kind: opGamma}}
+}
+
+// A second group with a member nothing ever produces.
+const (
+	evUsed   = "used"
+	evOrphan = "orphan"
+)
+
+// Route covers both members, so the only finding is the orphaned producer.
+func Route(kind string) bool {
+	switch kind {
+	case evUsed:
+		return true
+	case evOrphan:
+		return false
+	}
+	return false
+}
+
+// MkUsed constructs evUsed; evOrphan has no producer anywhere.
+func MkUsed() rec { return rec{Kind: evUsed} }
